@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Every module regenerates one paper table/figure via its experiment driver
+and asserts the paper's qualitative claims (who wins, by roughly what
+factor, where crossovers fall).  ``pytest-benchmark`` times the driver; the
+reproduced rows are printed so ``pytest benchmarks/ --benchmark-only -s``
+doubles as the artifact-regeneration script.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Scenes/frames used by the bench drivers: the full six-scene set is the
+#: paper configuration; trim via ``--bench-scenes`` if iterating.
+BENCH_FRAMES = 8
+
+
+@pytest.fixture(scope="session")
+def bench_frames() -> int:
+    """Frames per simulated sequence in benchmark runs."""
+    return BENCH_FRAMES
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+"""Ablation bench: single vs multiple off-chip sorting passes.
+
+Section 4.3: more passes buy more accurate ordering but traffic scales
+linearly with the pass count; a single pass loses <0.1 dB, so the paper
+adopts one.  This bench reproduces the accuracy/traffic trade-off on the
+functional pipeline.
+"""
+
+import numpy as np
+
+from repro.core.strategies import NeoSortStrategy
+from repro.metrics.image import psnr
+from repro.pipeline.renderer import Renderer
+from repro.scene import default_trajectory, load_scene
+
+PASSES = (1, 2, 4)
+
+
+def _run_passes():
+    scene = load_scene("family", num_gaussians=1600)
+    cameras = default_trajectory("family", num_frames=6, width=192, height=108)
+    reference = Renderer(scene).render_sequence(cameras)
+    rows = []
+    for passes in PASSES:
+        strategy = NeoSortStrategy(passes=passes)
+        records = Renderer(scene, strategy=strategy).render_sequence(cameras)
+        quality = np.mean(
+            [psnr(a.image, b.image) for a, b in zip(reference[1:], records[1:])]
+        )
+        reorder_bytes = sum(fs.reorder.bytes_read for fs in strategy.frame_stats)
+        rows.append(
+            {"passes": passes, "psnr_vs_exact": float(quality), "reorder_bytes": reorder_bytes}
+        )
+    return rows
+
+
+def test_ablation_sort_passes(benchmark):
+    rows = benchmark.pedantic(_run_passes, rounds=1, iterations=1)
+    for row in rows:
+        print(row)
+
+    by_passes = {row["passes"]: row for row in rows}
+    # Traffic scales linearly with passes.
+    assert by_passes[2]["reorder_bytes"] > 1.8 * by_passes[1]["reorder_bytes"]
+    assert by_passes[4]["reorder_bytes"] > 3.6 * by_passes[1]["reorder_bytes"]
+    # A single pass is already visually lossless (the paper's <0.1 dB):
+    # extra passes buy at most marginal quality.
+    assert by_passes[1]["psnr_vs_exact"] > 45.0
+    assert by_passes[4]["psnr_vs_exact"] >= by_passes[1]["psnr_vs_exact"] - 0.5

@@ -1,0 +1,31 @@
+"""Bench: Fig. 19 — latency and quality of four sorting-reuse methods."""
+
+from repro.experiments import fig19
+
+from conftest import run_once
+
+
+def test_fig19_sorting_methods(benchmark):
+    result = run_once(benchmark, fig19.run, num_frames=20)
+    summary = fig19.method_summary(result)
+    for method, stats in summary.items():
+        print(method, stats)
+
+    # Paper Fig. 19(a): periodic sorting has the lowest average latency but
+    # spikes above the 16.6 ms SLO on refresh frames; background pays the
+    # full sorting stream continuously; hierarchical re-passes the table;
+    # Neo stays low and flat.
+    assert summary["periodic"]["mean_latency_ms"] < summary["neo"]["mean_latency_ms"]
+    assert summary["periodic"]["max_latency_ms"] > fig19.SLO_MS
+    assert summary["periodic"]["slo_violations"] >= 1
+    assert summary["neo"]["slo_violations"] == 0
+    assert summary["neo"]["max_latency_ms"] < fig19.SLO_MS
+    assert summary["background"]["mean_latency_ms"] > summary["neo"]["mean_latency_ms"]
+    assert summary["hierarchical"]["mean_latency_ms"] > summary["neo"]["mean_latency_ms"]
+
+    # Paper Fig. 19(b): hierarchical matches exact ordering; Neo stays
+    # high; background and periodic degrade (lag / error accumulation).
+    assert summary["hierarchical"]["mean_psnr"] >= summary["neo"]["mean_psnr"]
+    assert summary["neo"]["mean_psnr"] > summary["background"]["mean_psnr"]
+    assert summary["neo"]["mean_psnr"] > summary["periodic"]["mean_psnr"]
+    assert summary["neo"]["min_psnr"] > 40.0

@@ -1,0 +1,58 @@
+"""AR/VR headset scenario: can a 51.2 GB/s edge device hit 60 FPS at QHD?
+
+Walks the paper's headline experiment (Fig. 15 / Fig. 16): simulate the
+Orin AGX GPU, the GSCore ASIC, and Neo on the same scene workloads at the
+per-eye resolutions AR/VR headsets use, under an edge DRAM budget.
+
+Run:
+    python examples/ar_vr_headset.py
+"""
+
+from __future__ import annotations
+
+from repro.hw import (
+    DramConfig,
+    GSCoreModel,
+    NeoModel,
+    OrinGpuModel,
+    WorkloadModel,
+)
+
+SCENES = ("family", "lighthouse", "train")
+RESOLUTIONS = ("hd", "fhd", "qhd")
+SLO_FPS = 60.0
+
+
+def main() -> None:
+    print("Capturing workload models (culling + projection per frame)...")
+    models = {name: WorkloadModel.from_scene(name, num_frames=10) for name in SCENES}
+
+    print(f"\n{'resolution':>10} {'system':>10} {'fps':>7} {'GB/60f':>8} {'60FPS?':>7}")
+    for resolution in RESOLUTIONS:
+        for label, build in (
+            ("orin", lambda: (OrinGpuModel(), 16)),
+            ("gscore", lambda: (GSCoreModel(dram=DramConfig()), 16)),
+            ("neo", lambda: (NeoModel(dram=DramConfig()), 64)),
+        ):
+            fps_sum = gb_sum = 0.0
+            for name, wm in models.items():
+                model, tile = build()
+                report = model.simulate(wm.sequence_workloads(resolution, tile), scene=name)
+                fps_sum += report.fps
+                gb_sum += report.traffic_gb_for(60)
+            fps = fps_sum / len(models)
+            gb = gb_sum / len(models)
+            meets = "yes" if fps >= SLO_FPS else "no"
+            print(f"{resolution:>10} {label:>10} {fps:>7.1f} {gb:>8.1f} {meets:>7}")
+        print()
+
+    print(
+        "Neo is the only system that holds the 60 FPS SLO at QHD under the\n"
+        "51.2 GB/s edge budget — the paper's headline claim — because its\n"
+        "reuse-and-update sorting streams each Gaussian table once per frame\n"
+        "instead of re-sorting millions of pairs from scratch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Large-scene flythrough: the Mill-19 scenario of Fig. 17(a).
+
+Renders an aerial flythrough of the synthetic "building" scene functionally
+(small scale), measures how much of each tile's Gaussian table survives
+between frames, and projects end-to-end performance at paper scale for all
+three systems.
+
+Run:
+    python examples/large_scene_flythrough.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import NeoSortStrategy
+from repro.hw import GSCoreModel, NeoModel, OrinGpuModel, WorkloadModel
+from repro.metrics import sequence_similarity
+from repro.pipeline import Renderer
+from repro.scene import default_trajectory, load_scene
+
+
+def main() -> None:
+    scene_name = "building"
+    print(f"Functional flythrough of '{scene_name}' (reduced scale)...")
+    scene = load_scene(scene_name, num_gaussians=3000)
+    cameras = default_trajectory(scene_name, num_frames=8, width=256, height=144)
+
+    neo = NeoSortStrategy()
+    records = Renderer(scene, strategy=neo).render_sequence(cameras)
+    stats = sequence_similarity([r.sorted_tiles for r in records])
+    print(
+        f"  tiles retaining >=78% of Gaussians between frames: "
+        f"{stats.fraction_of_tiles_retaining(0.78):.1%}"
+    )
+    print(
+        f"  mean reuse fraction across frames: "
+        f"{np.mean([fs.reuse_fraction for fs in neo.frame_stats[1:]]):.1%}"
+    )
+
+    print("\nPaper-scale projection (QHD, 51.2 GB/s edge memory):")
+    wm = WorkloadModel.from_scene(scene_name, num_frames=10)
+    w_neo = wm.sequence_workloads("qhd", 64)
+    w_16 = wm.sequence_workloads("qhd", 16)
+    for label, report in (
+        ("orin", OrinGpuModel().simulate(w_16, scene=scene_name)),
+        ("gscore", GSCoreModel().simulate(w_16, scene=scene_name)),
+        ("neo", NeoModel().simulate(w_neo, scene=scene_name)),
+    ):
+        print(
+            f"  {label:>7}: {report.fps:6.1f} FPS, "
+            f"{report.traffic_gb_for(60):6.1f} GB / 60 frames"
+        )
+    print(
+        "\nEven with millions of Gaussians in view, temporal reuse holds on\n"
+        "aerial paths, so Neo alone stays near the real-time threshold\n"
+        "(Fig. 17a)."
+    )
+
+
+if __name__ == "__main__":
+    main()

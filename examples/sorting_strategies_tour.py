@@ -1,0 +1,63 @@
+"""Tour of the sorting-reuse design space (section 4.1 / Fig. 19).
+
+Renders the same orbit with five sorting strategies — exact per-frame,
+periodic, background, hierarchical, and Neo's reuse-and-update — and prints
+per-strategy quality and functional sorting traffic, reproducing the
+trade-offs that motivated Neo's incremental-update design.
+
+Run:
+    python examples/sorting_strategies_tour.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import make_strategy
+from repro.metrics import psnr
+from repro.pipeline import Renderer
+from repro.scene import default_trajectory, load_scene
+
+STRATEGIES = {
+    "full": {},
+    "periodic": {"period": 6},
+    "background": {"lag": 2},
+    "hierarchical": {},
+    "neo": {},
+}
+
+
+def main() -> None:
+    scene = load_scene("playground", num_gaussians=2000)
+    cameras = default_trajectory("playground", num_frames=12, width=256, height=144)
+    reference = Renderer(scene).render_sequence(cameras)
+
+    print(f"{'strategy':>13} {'mean PSNR':>10} {'min PSNR':>9} {'sort MB':>8}")
+    for name, kwargs in STRATEGIES.items():
+        strategy = make_strategy(name, **kwargs)
+        records = Renderer(scene, strategy=strategy).render_sequence(cameras)
+        quality = [
+            psnr(ref.image, rec.image)
+            for ref, rec in zip(reference[1:], records[1:])
+        ]
+        traffic = strategy.total_traffic().total_bytes
+        print(
+            f"{name:>13} {np.mean(quality):>10.1f} {np.min(quality):>9.1f} "
+            f"{traffic / 1e6:>8.2f}"
+        )
+
+    print(
+        "\nReading the table:\n"
+        "  - full re-sort is exact but pays the whole sort every frame;\n"
+        "  - periodic skips frames cheaply but quality decays between\n"
+        "    refreshes (its min PSNR is the worst);\n"
+        "  - background sustains full traffic AND renders with a stale\n"
+        "    viewpoint's order;\n"
+        "  - hierarchical (GSCore) is exact but re-streams tables;\n"
+        "  - neo keeps quality within a hair of exact on a single cheap\n"
+        "    reuse pass — the paper's design point."
+    )
+
+
+if __name__ == "__main__":
+    main()

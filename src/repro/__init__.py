@@ -1,0 +1,31 @@
+"""repro: full Python reproduction of *Neo: Real-Time On-Device 3D Gaussian
+Splatting with Reuse-and-Update Sorting Acceleration* (ASPLOS 2026).
+
+Subpackages
+-----------
+``repro.scene``
+    Gaussian scene representation, cameras, trajectories, synthetic datasets.
+``repro.pipeline``
+    The 3DGS rendering pipeline (culling, feature extraction, tiling,
+    sorting, rasterization).
+``repro.core``
+    The paper's contribution: reuse-and-update sorting (Dynamic Partial
+    Sorting, incremental Gaussian tables) plus baseline sorting strategies.
+``repro.hw``
+    Cycle/traffic models of the Neo accelerator, GSCore, and the Orin AGX
+    GPU, with DRAM and area/power models.
+``repro.metrics``
+    Image quality (PSNR / SSIM / LPIPS proxy), temporal similarity, traffic
+    reporting.
+``repro.experiments``
+    One driver per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import core  # noqa: F401
+from . import experiments  # noqa: F401
+from . import hw  # noqa: F401
+from . import metrics  # noqa: F401
+from . import pipeline  # noqa: F401
+from . import scene  # noqa: F401

@@ -1,0 +1,146 @@
+"""Command-line interface: regenerate paper artifacts and render scenes.
+
+Usage::
+
+    python -m repro list                      # available experiments/scenes
+    python -m repro run fig15                 # regenerate one figure/table
+    python -m repro run all                   # regenerate everything
+    python -m repro render family out.ppm     # render one frame to a PPM
+    python -m repro simulate neo family qhd   # one system/scene/resolution
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_list(_args) -> int:
+    from .experiments import list_experiments
+    from .scene.datasets import SCENE_SPECS
+
+    print("experiments:", ", ".join(list_experiments()))
+    print("scenes:     ", ", ".join(sorted(SCENE_SPECS)))
+    print("systems:    ", "orin, orin-neo-sw, gscore, neo, neo-s")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .experiments import list_experiments, run_experiment
+
+    names = list_experiments() if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = run_experiment(name)
+        print(result.to_text())
+        print()
+    return 0
+
+
+def write_ppm(path: str, image: np.ndarray) -> None:
+    """Write an HxWx3 float image in [0, 1] as a binary PPM (P6)."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError("expected an HxWx3 image")
+    data = (np.clip(image, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+    height, width = data.shape[:2]
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(data.tobytes())
+
+
+def _cmd_render(args) -> int:
+    from .core.strategies import make_strategy
+    from .pipeline.renderer import Renderer
+    from .scene.datasets import default_trajectory, load_scene
+
+    scene = load_scene(args.scene, num_gaussians=args.gaussians)
+    cameras = default_trajectory(
+        args.scene, num_frames=args.frame + 1, width=args.width, height=args.height
+    )
+    renderer = Renderer(scene, strategy=make_strategy(args.strategy))
+    records = renderer.render_sequence(cameras)
+    write_ppm(args.output, records[-1].image)
+    stats = records[-1].stats
+    print(
+        f"wrote {args.output}: {args.width}x{args.height}, "
+        f"{stats.num_visible} visible Gaussians, {stats.num_pairs} pairs, "
+        f"strategy={args.strategy}"
+    )
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .experiments.runner import simulate_system
+
+    report = simulate_system(
+        args.system,
+        args.scene,
+        args.resolution,
+        num_frames=args.frames,
+        bandwidth_gbps=args.bandwidth,
+    )
+    traffic = report.total_traffic
+    print(f"system:      {report.system}")
+    print(f"scene:       {report.scene} @ {args.resolution}")
+    print(f"throughput:  {report.fps:.1f} FPS (mean latency {report.mean_latency_s * 1e3:.2f} ms)")
+    print(f"traffic/60f: {report.traffic_gb_for(60):.1f} GB")
+    fracs = traffic.fractions()
+    print(
+        "stage split: "
+        f"feature {fracs['feature_extraction']:.0%}, "
+        f"sorting {fracs['sorting']:.0%}, "
+        f"raster {fracs['rasterization']:.0%}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Neo (ASPLOS 2026) reproduction: experiments, rendering, simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments, scenes, and systems")
+
+    run_p = sub.add_parser("run", help="regenerate a paper figure/table (or 'all')")
+    run_p.add_argument("experiment", help="experiment id, e.g. fig15, table2, all")
+
+    render_p = sub.add_parser("render", help="render one frame to a PPM image")
+    render_p.add_argument("scene", help="scene preset name")
+    render_p.add_argument("output", help="output .ppm path")
+    render_p.add_argument("--width", type=int, default=480)
+    render_p.add_argument("--height", type=int, default=270)
+    render_p.add_argument("--frame", type=int, default=0, help="trajectory frame index")
+    render_p.add_argument("--gaussians", type=int, default=3000)
+    render_p.add_argument(
+        "--strategy", default="full",
+        choices=("full", "periodic", "background", "hierarchical", "neo"),
+    )
+
+    sim_p = sub.add_parser("simulate", help="simulate one system on one workload")
+    sim_p.add_argument("system", choices=("orin", "orin-neo-sw", "gscore", "neo", "neo-s"))
+    sim_p.add_argument("scene")
+    sim_p.add_argument("resolution", choices=("hd", "fhd", "qhd", "uhd"))
+    sim_p.add_argument("--frames", type=int, default=12)
+    sim_p.add_argument("--bandwidth", type=float, default=51.2, help="DRAM GB/s")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "render": _cmd_render,
+        "simulate": _cmd_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

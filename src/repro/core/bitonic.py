@@ -1,0 +1,166 @@
+"""Bitonic Sorting Unit (BSU) model.
+
+Each of Neo's 16 Sorting Cores contains a BSU that sorts 16-entry sub-chunks
+with a bitonic network (paper section 5.3).  This module provides:
+
+* a faithful functional implementation of the bitonic network (compare and
+  swap schedule identical to the hardware, so the comparator count is exact),
+* a cycle-cost model: the network has ``k(k+1)/2`` stages for ``2^k`` inputs
+  and the hardware evaluates one stage per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Sub-chunk width of the hardware BSU (Table 1 / section 5.3).
+BSU_WIDTH = 16
+
+#: Sentinel key used to pad partial sub-chunks; sorts after any real depth.
+PAD_KEY = np.inf
+
+
+@dataclass
+class BitonicStats:
+    """Work counters for one or more BSU invocations.
+
+    Attributes
+    ----------
+    invocations:
+        Number of sub-chunk sorts performed.
+    stages:
+        Total network stages executed (one per cycle in hardware).
+    comparators:
+        Total compare-and-swap operations (width/2 per stage).
+    """
+
+    invocations: int = 0
+    stages: int = 0
+    comparators: int = 0
+
+    @property
+    def cycles(self) -> int:
+        """Hardware cycles: one network stage per cycle."""
+        return self.stages
+
+
+def network_stages(width: int) -> int:
+    """Number of stages in a bitonic network over ``width = 2^k`` inputs.
+
+    >>> network_stages(16)
+    10
+    """
+    if width < 1 or width & (width - 1):
+        raise ValueError(f"width must be a power of two, got {width}")
+    k = width.bit_length() - 1
+    return k * (k + 1) // 2
+
+
+def bitonic_sort_16(
+    keys: np.ndarray,
+    values: np.ndarray | None = None,
+    stats: BitonicStats | None = None,
+    width: int = BSU_WIDTH,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Sort up to ``width`` key/value pairs with an explicit bitonic network.
+
+    Shorter inputs are padded with ``PAD_KEY`` and the padding is stripped
+    from the output, exactly as the hardware pads partial sub-chunks.
+
+    Parameters
+    ----------
+    keys:
+        1-D array of at most ``width`` sort keys.
+    values:
+        Optional payload moved alongside the keys (e.g. Gaussian IDs).
+    stats:
+        Optional accumulator for comparator/stage counts.
+
+    Returns
+    -------
+    ``(sorted_keys, sorted_values)``; values is ``None`` if not provided.
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    if keys.ndim != 1:
+        raise ValueError("keys must be 1-D")
+    n = keys.shape[0]
+    if n > width:
+        raise ValueError(f"BSU width is {width}, got {n} entries")
+
+    padded_keys = np.full(width, PAD_KEY)
+    padded_keys[:n] = keys
+    if values is not None:
+        values = np.asarray(values)
+        if values.shape[0] != n:
+            raise ValueError("values must align with keys")
+        padded_vals = np.zeros(width, dtype=values.dtype)
+        padded_vals[:n] = values
+    else:
+        padded_vals = None
+
+    stage_count = 0
+    comparator_count = 0
+    # Standard iterative bitonic sort: block size doubles outer, comparison
+    # distance halves inner.  Ascending order throughout (depth keys).
+    size = 2
+    while size <= width:
+        stride = size // 2
+        while stride >= 1:
+            stage_count += 1
+            for i in range(width):
+                partner = i ^ stride
+                if partner > i:
+                    comparator_count += 1
+                    ascending = (i & size) == 0
+                    a, b = padded_keys[i], padded_keys[partner]
+                    if (a > b) == ascending:
+                        padded_keys[i], padded_keys[partner] = b, a
+                        if padded_vals is not None:
+                            padded_vals[i], padded_vals[partner] = (
+                                padded_vals[partner],
+                                padded_vals[i],
+                            )
+            stride //= 2
+        size *= 2
+
+    if stats is not None:
+        stats.invocations += 1
+        stats.stages += stage_count
+        stats.comparators += comparator_count
+
+    out_vals = padded_vals[:n] if padded_vals is not None else None
+    return padded_keys[:n], out_vals
+
+
+def bsu_sort_chunk(
+    keys: np.ndarray,
+    values: np.ndarray | None = None,
+    stats: BitonicStats | None = None,
+    width: int = BSU_WIDTH,
+) -> tuple[np.ndarray, np.ndarray | None, list[tuple[int, int]]]:
+    """Split a chunk into ``width``-entry sub-chunks and BSU-sort each.
+
+    This is the first half of the Sorting Core's chunk pipeline; the MSU+
+    then merges the sorted sub-chunks (see :mod:`repro.core.merge_unit`).
+
+    Returns the per-sub-chunk sorted keys/values concatenated in place plus
+    the ``(start, end)`` extents of each sorted run.
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    n = keys.shape[0]
+    out_keys = np.empty_like(keys)
+    out_vals = np.empty(n, dtype=np.asarray(values).dtype) if values is not None else None
+    runs: list[tuple[int, int]] = []
+    for start in range(0, n, width):
+        end = min(start + width, n)
+        sub_vals = values[start:end] if values is not None else None
+        sorted_keys, sorted_vals = bitonic_sort_16(
+            keys[start:end], sub_vals, stats=stats, width=width
+        )
+        out_keys[start:end] = sorted_keys
+        if out_vals is not None:
+            out_vals[start:end] = sorted_vals
+        runs.append((start, end))
+    return out_keys, out_vals, runs

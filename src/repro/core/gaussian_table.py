@@ -1,0 +1,150 @@
+"""Per-tile Gaussian table: the state Neo carries across frames.
+
+Each tile owns a table of ``(Gaussian ID, depth, valid bit)`` entries ordered
+(approximately) front-to-back.  The table is the unit of reuse: reordering,
+insertion, deletion, and the deferred depth update (paper Figure 8) all
+operate on it in place of a from-scratch per-frame sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Bytes per table entry in off-chip memory: 32-bit Gaussian ID + 32-bit
+#: depth; the valid bit rides in the ID's top bit.  Drives the traffic model.
+TABLE_ENTRY_BYTES = 8
+
+
+@dataclass
+class GaussianTable:
+    """One tile's sorted Gaussian table.
+
+    Attributes
+    ----------
+    ids:
+        ``(n,)`` global Gaussian IDs in (approximate) depth order.
+    depths:
+        ``(n,)`` depth keys; may be one frame stale under Neo's deferred
+        depth update.
+    valid:
+        ``(n,)`` valid bits; ``False`` marks entries scheduled for lazy
+        deletion at the next merge.
+    """
+
+    ids: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    depths: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.float64))
+    valid: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=bool))
+
+    def __post_init__(self) -> None:
+        self.ids = np.asarray(self.ids, dtype=np.int64)
+        self.depths = np.asarray(self.depths, dtype=np.float64)
+        if self.valid.shape[0] != self.ids.shape[0]:
+            if self.valid.shape[0] == 0:
+                self.valid = np.ones(self.ids.shape[0], dtype=bool)
+            else:
+                raise ValueError("valid must align with ids")
+        else:
+            self.valid = np.asarray(self.valid, dtype=bool)
+        if self.depths.shape != self.ids.shape:
+            raise ValueError("depths must align with ids")
+        if len(np.unique(self.ids)) != self.ids.shape[0]:
+            raise ValueError("duplicate Gaussian IDs in table")
+
+    def __len__(self) -> int:
+        return self.ids.shape[0]
+
+    @property
+    def num_valid(self) -> int:
+        """Entries that will survive the next lazy-deletion merge."""
+        return int(np.count_nonzero(self.valid))
+
+    @property
+    def size_bytes(self) -> int:
+        """Off-chip footprint of the table."""
+        return len(self) * TABLE_ENTRY_BYTES
+
+    @staticmethod
+    def from_sorted(ids: np.ndarray, depths: np.ndarray) -> "GaussianTable":
+        """Build a table from already depth-sorted entries."""
+        return GaussianTable(
+            ids=np.asarray(ids, dtype=np.int64).copy(),
+            depths=np.asarray(depths, dtype=np.float64).copy(),
+            valid=np.ones(np.asarray(ids).shape[0], dtype=bool),
+        )
+
+    def copy(self) -> "GaussianTable":
+        """Deep copy (tables mutate across frames)."""
+        return GaussianTable(
+            ids=self.ids.copy(), depths=self.depths.copy(), valid=self.valid.copy()
+        )
+
+    def mark_invalid(self, invalid_ids: np.ndarray) -> int:
+        """Clear valid bits for ``invalid_ids``; returns how many were found.
+
+        This models the Rasterization Engine writing back the cumulative-OR
+        intersection bitmaps (paper section 5.4): entries flagged here are
+        *not* removed yet — the MSU+ drops them during the next merge.
+        """
+        invalid_ids = np.asarray(invalid_ids, dtype=np.int64)
+        if invalid_ids.size == 0:
+            return 0
+        mask = np.isin(self.ids, invalid_ids)
+        hit = int(np.count_nonzero(mask & self.valid))
+        self.valid[mask] = False
+        return hit
+
+    def set_valid_bits(self, valid: np.ndarray) -> None:
+        """Overwrite the valid-bit column (aligned with the current order)."""
+        valid = np.asarray(valid, dtype=bool)
+        if valid.shape[0] != len(self):
+            raise ValueError("valid mask must align with table")
+        self.valid = valid.copy()
+
+    def update_depths(self, id_to_depth: dict[int, float] | None = None,
+                      ids: np.ndarray | None = None,
+                      depths: np.ndarray | None = None) -> int:
+        """Deferred depth update: overwrite stored depths for known IDs.
+
+        Either pass a mapping or parallel ``ids``/``depths`` arrays.  Entries
+        not mentioned keep their stale depth (e.g. Gaussians that were
+        culled this frame).  Returns the number of entries refreshed.
+        """
+        if id_to_depth is not None:
+            ids = np.fromiter(id_to_depth.keys(), dtype=np.int64, count=len(id_to_depth))
+            depths = np.fromiter(id_to_depth.values(), dtype=np.float64, count=len(id_to_depth))
+        if ids is None or depths is None:
+            raise ValueError("provide id_to_depth or ids+depths")
+        ids = np.asarray(ids, dtype=np.int64)
+        depths = np.asarray(depths, dtype=np.float64)
+        if ids.shape != depths.shape:
+            raise ValueError("ids and depths must align")
+        if ids.size == 0 or len(self) == 0:
+            return 0
+        # Vectorized lookup: sort the update keys once, gather per table row.
+        order = np.argsort(ids, kind="stable")
+        sorted_ids = ids[order]
+        sorted_depths = depths[order]
+        pos = np.searchsorted(sorted_ids, self.ids)
+        pos = np.clip(pos, 0, sorted_ids.shape[0] - 1)
+        found = sorted_ids[pos] == self.ids
+        self.depths[found] = sorted_depths[pos[found]]
+        return int(np.count_nonzero(found))
+
+    def compact(self) -> int:
+        """Eagerly drop invalid entries (the costly path Neo avoids).
+
+        Provided for the ablation comparing eager deletion against the MSU+
+        lazy merge; returns the number of entries removed.
+        """
+        removed = len(self) - self.num_valid
+        keep = self.valid
+        self.ids = self.ids[keep]
+        self.depths = self.depths[keep]
+        self.valid = self.valid[keep]
+        return removed
+
+    def membership(self) -> set[int]:
+        """Set of (valid) Gaussian IDs currently in the table."""
+        return set(int(g) for g in self.ids[self.valid])

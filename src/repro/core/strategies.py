@@ -1,0 +1,306 @@
+"""Sorting-stage strategies: Neo plus the design-space baselines.
+
+Section 4.1 of the paper explores the design space of sorting reuse and
+section 6.3 (Fig. 19) compares four methods on Neo hardware:
+
+* **full re-sort** — conventional per-frame global sorting (what GPU 3DGS
+  and, with hierarchy, GSCore do);
+* **periodic sorting** — full sort every K frames, stale order in between
+  (low average latency, latency spikes, accumulating quality error);
+* **background sorting** — a full sort permanently runs in the background;
+  each frame consumes the most recent *completed* sort, i.e. an order
+  computed for a viewpoint L frames old (sustained traffic, viewpoint lag);
+* **hierarchical sorting** — GSCore's coarse-bucket + fine-sort, accurate
+  but multiple off-chip passes;
+* **Neo** — :class:`~repro.core.reuse_update.ReuseUpdateSorter`.
+
+Every strategy implements the pipeline's ``SortStrategy`` protocol and keeps
+a per-frame :class:`SortTraffic` ledger for the hardware models.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..pipeline.rasterizer import RasterResult
+from ..pipeline.sorting import SortedTiles, sort_tiles
+from ..pipeline.tiling import TileAssignment
+from .dynamic_partial_sort import DEFAULT_CHUNK_SIZE, PartialSortStats, full_sort
+from .gaussian_table import TABLE_ENTRY_BYTES
+from .reuse_update import ReuseUpdateSorter, SortTraffic
+
+__all__ = [
+    "FullResortStrategy",
+    "PeriodicSortStrategy",
+    "BackgroundSortStrategy",
+    "HierarchicalSortStrategy",
+    "NeoSortStrategy",
+    "make_strategy",
+]
+
+#: Neo's strategy under its user-facing name.
+NeoSortStrategy = ReuseUpdateSorter
+
+
+def _full_sort_traffic(assignment: TileAssignment, chunk_size: int) -> SortTraffic:
+    """Traffic of a conventional global sort of every tile's list."""
+    traffic = SortTraffic()
+    for rows in assignment.tile_rows:
+        n = rows.shape[0]
+        if n == 0:
+            continue
+        stats = PartialSortStats()
+        full_sort(np.zeros(n), np.zeros(n, dtype=np.int64), chunk_size=chunk_size, stats=stats)
+        traffic.table_read += stats.bytes_read
+        traffic.table_write += stats.bytes_written
+    return traffic
+
+
+class FullResortStrategy:
+    """Conventional baseline: exact global sort from scratch every frame."""
+
+    name = "full"
+
+    def __init__(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        self.chunk_size = chunk_size
+        self.frame_traffic: list[SortTraffic] = []
+
+    def sort_frame(self, assignment: TileAssignment, frame_index: int) -> SortedTiles:
+        self.frame_traffic.append(_full_sort_traffic(assignment, self.chunk_size))
+        return sort_tiles(assignment)
+
+    def observe_raster(
+        self, frame_index: int, sorted_tiles: SortedTiles, raster: RasterResult
+    ) -> None:
+        return None
+
+    def total_traffic(self) -> SortTraffic:
+        """Aggregate traffic over all frames."""
+        total = SortTraffic()
+        for t in self.frame_traffic:
+            total.add(t)
+        return total
+
+
+class PeriodicSortStrategy:
+    """Full sort every ``period`` frames; intermediate frames reuse it as-is.
+
+    Between refreshes both the *order* and the *membership* of each tile's
+    list go stale: newly visible Gaussians are missing and departed ones are
+    silently skipped, which is why quality decays until the next refresh
+    (Fig. 19b) while traffic is near zero on skip frames (latency spikes on
+    refresh frames, Fig. 19a).
+    """
+
+    name = "periodic"
+
+    def __init__(self, period: int = 10, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.period = period
+        self.chunk_size = chunk_size
+        self.frame_traffic: list[SortTraffic] = []
+        self._cached_ids: list[np.ndarray] | None = None
+        self._cached_depths: list[np.ndarray] | None = None
+
+    def sort_frame(self, assignment: TileAssignment, frame_index: int) -> SortedTiles:
+        refresh = frame_index % self.period == 0 or self._cached_ids is None
+        if refresh:
+            self.frame_traffic.append(_full_sort_traffic(assignment, self.chunk_size))
+            exact = sort_tiles(assignment)
+            self._cached_ids = exact.tile_ids
+            self._cached_depths = exact.tile_depths
+            return exact
+
+        # Skip frame: replay the cached order against the current projection.
+        self.frame_traffic.append(SortTraffic())
+        return _replay_cached_order(assignment, self._cached_ids, self._cached_depths)
+
+    def observe_raster(
+        self, frame_index: int, sorted_tiles: SortedTiles, raster: RasterResult
+    ) -> None:
+        return None
+
+    def total_traffic(self) -> SortTraffic:
+        """Aggregate traffic over all frames."""
+        total = SortTraffic()
+        for t in self.frame_traffic:
+            total.add(t)
+        return total
+
+
+class BackgroundSortStrategy:
+    """Continuously sort in the background; frames consume lagged results.
+
+    A full sort of every frame is launched in the background and completes
+    ``lag`` frames later, so frame ``i`` renders with the ordering (and
+    membership) computed for frame ``i - lag``'s viewpoint.  Traffic is the
+    full per-frame sorting stream, sustained — the memory-contention problem
+    the paper attributes to this design (section 4.1).
+    """
+
+    name = "background"
+
+    def __init__(self, lag: int = 2, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        if lag < 1:
+            raise ValueError("lag must be >= 1")
+        self.lag = lag
+        self.chunk_size = chunk_size
+        self.frame_traffic: list[SortTraffic] = []
+        self._pending: deque[tuple[list[np.ndarray], list[np.ndarray]]] = deque()
+
+    def sort_frame(self, assignment: TileAssignment, frame_index: int) -> SortedTiles:
+        # Launch this frame's background sort (traffic charged now, results
+        # usable `lag` frames later).
+        self.frame_traffic.append(_full_sort_traffic(assignment, self.chunk_size))
+        exact = sort_tiles(assignment)
+        self._pending.append((exact.tile_ids, exact.tile_depths))
+
+        if len(self._pending) > self.lag:
+            ids, depths = self._pending.popleft()
+        else:
+            # Warm-up: nothing completed yet, use the oldest available.
+            ids, depths = self._pending[0]
+        return _replay_cached_order(assignment, ids, depths)
+
+    def observe_raster(
+        self, frame_index: int, sorted_tiles: SortedTiles, raster: RasterResult
+    ) -> None:
+        return None
+
+    def total_traffic(self) -> SortTraffic:
+        """Aggregate traffic over all frames."""
+        total = SortTraffic()
+        for t in self.frame_traffic:
+            total.add(t)
+        return total
+
+
+class HierarchicalSortStrategy:
+    """GSCore-style hierarchical sorting on reused tables.
+
+    Coarse-grained bucketing by depth followed by a fine sort inside each
+    bucket reproduces the exact order (buckets partition the depth range),
+    but the bucketing pass and the fine pass each stream the table through
+    off-chip memory, so per-frame traffic is roughly twice Neo's single
+    pass (Fig. 19 latency gap).
+    """
+
+    name = "hierarchical"
+
+    def __init__(self, num_buckets: int = 16, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        if num_buckets < 2:
+            raise ValueError("num_buckets must be >= 2")
+        self.num_buckets = num_buckets
+        self.chunk_size = chunk_size
+        self.frame_traffic: list[SortTraffic] = []
+
+    def sort_frame(self, assignment: TileAssignment, frame_index: int) -> SortedTiles:
+        traffic = SortTraffic()
+        proj = assignment.projected
+        tile_rows: list[np.ndarray] = []
+        tile_ids: list[np.ndarray] = []
+        tile_depths: list[np.ndarray] = []
+        for rows in assignment.tile_rows:
+            depths = proj.depths[rows]
+            ids = proj.ids[rows]
+            n = rows.shape[0]
+            if n:
+                # Pass 1: coarse bucketing (read all, write all, bucketed).
+                # Pass 2: fine sort within each bucket (read + write again).
+                traffic.table_read += 2 * n * TABLE_ENTRY_BYTES
+                traffic.table_write += 2 * n * TABLE_ENTRY_BYTES
+                order = _hierarchical_order(depths, ids, self.num_buckets)
+            else:
+                order = np.empty(0, dtype=np.int64)
+            tile_rows.append(rows[order])
+            tile_ids.append(ids[order])
+            tile_depths.append(depths[order])
+        self.frame_traffic.append(traffic)
+        return SortedTiles(tile_rows=tile_rows, tile_ids=tile_ids, tile_depths=tile_depths)
+
+    def observe_raster(
+        self, frame_index: int, sorted_tiles: SortedTiles, raster: RasterResult
+    ) -> None:
+        return None
+
+    def total_traffic(self) -> SortTraffic:
+        """Aggregate traffic over all frames."""
+        total = SortTraffic()
+        for t in self.frame_traffic:
+            total.add(t)
+        return total
+
+
+def _hierarchical_order(depths: np.ndarray, ids: np.ndarray, num_buckets: int) -> np.ndarray:
+    """Coarse bucket by depth range, then fine-sort within each bucket."""
+    n = depths.shape[0]
+    if n < 2:
+        return np.arange(n, dtype=np.int64)
+    lo, hi = float(depths.min()), float(depths.max())
+    if hi - lo < 1e-12:
+        return np.argsort(ids, kind="stable")
+    buckets = np.minimum(
+        ((depths - lo) / (hi - lo) * num_buckets).astype(np.int64), num_buckets - 1
+    )
+    # Stable sort by (bucket, depth, id) == exact order because buckets are
+    # monotone in depth; the two-level structure is what costs the 2nd pass.
+    return np.lexsort((ids, depths, buckets))
+
+
+def _replay_cached_order(
+    assignment: TileAssignment,
+    cached_ids: list[np.ndarray],
+    cached_depths: list[np.ndarray],
+) -> SortedTiles:
+    """Render the current frame using a stale per-tile ordering.
+
+    Stale IDs missing from the current projection are dropped (they cannot
+    be rasterized); Gaussians new to a tile are absent (the quality cost of
+    stale membership).
+    """
+    proj = assignment.projected
+    id_to_row = {int(g): i for i, g in enumerate(proj.ids)}
+    tile_rows: list[np.ndarray] = []
+    tile_ids: list[np.ndarray] = []
+    tile_depths: list[np.ndarray] = []
+    for tile in range(len(assignment.tile_rows)):
+        if tile < len(cached_ids):
+            ids = cached_ids[tile]
+            depths = cached_depths[tile]
+        else:
+            ids = np.empty(0, dtype=np.int64)
+            depths = np.empty(0, dtype=np.float64)
+        rows = []
+        keep = []
+        for i, gid in enumerate(ids):
+            row = id_to_row.get(int(gid))
+            if row is not None:
+                rows.append(row)
+                keep.append(i)
+        keep_idx = np.asarray(keep, dtype=np.int64)
+        tile_rows.append(np.asarray(rows, dtype=np.int64))
+        tile_ids.append(ids[keep_idx] if keep_idx.size else np.empty(0, dtype=np.int64))
+        tile_depths.append(depths[keep_idx] if keep_idx.size else np.empty(0, dtype=np.float64))
+    return SortedTiles(tile_rows=tile_rows, tile_ids=tile_ids, tile_depths=tile_depths)
+
+
+def make_strategy(name: str, **kwargs) -> object:
+    """Factory: build a sorting strategy by name.
+
+    Recognized names: ``full``, ``periodic``, ``background``,
+    ``hierarchical``, ``neo``.
+    """
+    registry = {
+        "full": FullResortStrategy,
+        "periodic": PeriodicSortStrategy,
+        "background": BackgroundSortStrategy,
+        "hierarchical": HierarchicalSortStrategy,
+        "neo": NeoSortStrategy,
+    }
+    key = name.lower()
+    if key not in registry:
+        raise KeyError(f"unknown strategy {name!r}; options: {sorted(registry)}")
+    return registry[key](**kwargs)

@@ -1,0 +1,21 @@
+"""Experiment drivers: one module per paper table/figure."""
+
+from .registry import EXPERIMENTS, list_experiments, run_experiment
+from .runner import (
+    DEFAULT_FRAMES,
+    PAPER_TRAFFIC_FRAMES,
+    ExperimentResult,
+    get_workload_model,
+    simulate_system,
+)
+
+__all__ = [
+    "DEFAULT_FRAMES",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "PAPER_TRAFFIC_FRAMES",
+    "get_workload_model",
+    "list_experiments",
+    "run_experiment",
+    "simulate_system",
+]

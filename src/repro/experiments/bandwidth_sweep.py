@@ -1,0 +1,60 @@
+"""Extension experiment: sensitivity to DRAM bandwidth.
+
+The flip side of Neo's traffic reduction (not a numbered figure, but the
+direct consequence of section 6.2's claim that Neo "can perform computations
+without being bottlenecked by the bandwidth constraints"): sweeping the
+memory system across the 17.8-59.7 GB/s practical on-device range cited in
+section 3.2 and beyond, Neo reaches the 60 FPS SLO at a fraction of the
+bandwidth GSCore would need — GSCore stays memory-bound and sub-real-time
+even at 4x the edge budget.
+"""
+
+from __future__ import annotations
+
+from ..hw.accelerator import NeoModel
+from ..hw.config import DramConfig, GSCoreConfig
+from ..hw.gscore import GSCoreModel
+from .runner import DEFAULT_FRAMES, ExperimentResult, get_workload_model
+
+BANDWIDTHS_GBPS = (17.8, 25.6, 38.4, 51.2, 76.8, 102.4, 204.8)
+
+
+def run(
+    scene: str = "family",
+    resolution: str = "qhd",
+    num_frames: int = DEFAULT_FRAMES,
+    bandwidths=BANDWIDTHS_GBPS,
+) -> ExperimentResult:
+    """Neo and GSCore FPS across DRAM bandwidths at QHD."""
+    wm = get_workload_model(scene, num_frames=num_frames)
+    w64 = wm.sequence_workloads(resolution, 64)
+    w16 = wm.sequence_workloads(resolution, 16)
+    result = ExperimentResult(
+        name="bandwidth_sweep",
+        description="FPS vs DRAM bandwidth: Neo saturates, GSCore stays memory-bound",
+    )
+    for bandwidth in bandwidths:
+        dram = DramConfig(bandwidth_gbps=bandwidth)
+        neo = NeoModel(dram=dram).simulate(w64, scene=scene)
+        gscore = GSCoreModel(config=GSCoreConfig(), dram=dram).simulate(w16, scene=scene)
+        result.rows.append(
+            {
+                "bandwidth_gbps": bandwidth,
+                "neo_fps": neo.fps,
+                "gscore_fps": gscore.fps,
+                "neo_realtime": neo.fps >= 60.0,
+            }
+        )
+    return result
+
+
+def realtime_bandwidth(result: ExperimentResult, system: str = "neo", slo_fps: float = 60.0) -> float:
+    """Smallest swept bandwidth at which ``system`` meets the FPS SLO.
+
+    Returns infinity if the system never reaches the SLO in the sweep.
+    """
+    key = f"{system}_fps"
+    for row in sorted(result.rows, key=lambda r: r["bandwidth_gbps"]):
+        if row[key] >= slo_fps:
+            return row["bandwidth_gbps"]
+    return float("inf")

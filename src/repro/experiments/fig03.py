@@ -1,0 +1,39 @@
+"""Fig. 3 — GSCore throughput vs. resolution (motivation).
+
+GSCore with the paper's original 4-core / 51.2 GB/s edge configuration:
+above the 60 FPS SLO at HD, collapsing at FHD and QHD.
+"""
+
+from __future__ import annotations
+
+from ..scene.datasets import TANKS_AND_TEMPLES
+from .runner import DEFAULT_FRAMES, ExperimentResult, simulate_system
+
+RESOLUTIONS = ("hd", "fhd", "qhd")
+
+
+def run(
+    scenes=TANKS_AND_TEMPLES,
+    num_frames: int = DEFAULT_FRAMES,
+    cores: int = 4,
+    bandwidth_gbps: float = 51.2,
+) -> ExperimentResult:
+    """GSCore FPS per scene per resolution (paper config: 4 cores, 51.2 GB/s)."""
+    result = ExperimentResult(
+        name="fig03",
+        description="GSCore throughput (FPS) at HD/FHD/QHD, 4 cores @ 51.2 GB/s",
+    )
+    for scene in scenes:
+        for resolution in RESOLUTIONS:
+            report = simulate_system(
+                "gscore",
+                scene,
+                resolution,
+                num_frames=num_frames,
+                cores=cores,
+                bandwidth_gbps=bandwidth_gbps,
+            )
+            result.rows.append(
+                {"scene": scene, "resolution": resolution, "fps": report.fps}
+            )
+    return result

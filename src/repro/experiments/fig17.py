@@ -1,0 +1,103 @@
+"""Fig. 17 — extreme AR/VR scenarios: large scenes and rapid camera motion.
+
+(a) Mill-19 Building / Rubble aerial scenes at QHD: Neo sustains >60 FPS
+    while Orin and GSCore fall far below.
+(b) Camera speed-ups of 2-16x on Tanks-and-Temples: Gaussian reusability
+    drops but Neo stays above the 60 FPS SLO.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..scene.datasets import MILL19, TANKS_AND_TEMPLES
+from .runner import DEFAULT_FRAMES, ExperimentResult, simulate_system
+
+SPEEDS = (1.0, 2.0, 4.0, 8.0, 16.0)
+SYSTEMS = ("orin", "gscore", "neo")
+
+
+def run_large_scenes(
+    scenes=MILL19, resolution: str = "qhd", num_frames: int = DEFAULT_FRAMES
+) -> ExperimentResult:
+    """Fig. 17(a): throughput on the large-scale aerial scenes."""
+    result = ExperimentResult(
+        name="fig17a",
+        description="Large-scale scenes (Mill-19) at QHD: FPS per system",
+    )
+    for scene in scenes:
+        row = {"scene": scene}
+        for system in SYSTEMS:
+            row[system] = simulate_system(
+                system, scene, resolution, num_frames=num_frames
+            ).fps
+        result.rows.append(row)
+    return result
+
+
+def run_camera_speed(
+    scene: str = "family",
+    resolution: str = "qhd",
+    num_frames: int = DEFAULT_FRAMES,
+    speeds=SPEEDS,
+) -> ExperimentResult:
+    """Fig. 17(b): Neo throughput under increasingly rapid camera motion."""
+    if scene not in TANKS_AND_TEMPLES:
+        raise ValueError(f"expected a Tanks-and-Temples scene, got {scene!r}")
+    result = ExperimentResult(
+        name="fig17b",
+        description="Neo QHD FPS under rapid camera movement (speed multipliers)",
+    )
+    for speed in speeds:
+        report = simulate_system(
+            "neo", scene, resolution, num_frames=num_frames, speed=speed
+        )
+        churn = float(
+            np.mean(
+                [
+                    f.traffic.sorting
+                    for f in report.frames[1:]
+                ]
+            )
+        )
+        result.rows.append(
+            {
+                "speed": speed,
+                "fps": report.fps,
+                "mean_sorting_bytes": churn,
+            }
+        )
+    return result
+
+
+def run(num_frames: int = DEFAULT_FRAMES) -> ExperimentResult:
+    """Both panels merged into one result (rows tagged by panel).
+
+    Panel (a) rows carry per-system FPS on the large scenes; panel (b)
+    rows carry Neo's FPS at each camera-speed multiplier.
+    """
+    merged = ExperimentResult(
+        name="fig17",
+        description="Extreme AR/VR scenarios: large scenes and rapid motion",
+    )
+    for row in run_large_scenes(num_frames=num_frames).rows:
+        merged.rows.append(
+            {
+                "panel": "a",
+                "case": row["scene"],
+                "orin": row["orin"],
+                "gscore": row["gscore"],
+                "neo": row["neo"],
+            }
+        )
+    for row in run_camera_speed(num_frames=num_frames).rows:
+        merged.rows.append(
+            {
+                "panel": "b",
+                "case": f"speed x{row['speed']:g}",
+                "orin": "-",
+                "gscore": "-",
+                "neo": row["fps"],
+            }
+        )
+    return merged

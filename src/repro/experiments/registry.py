@@ -1,0 +1,60 @@
+"""Registry mapping paper figure/table IDs to their experiment drivers."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from . import (
+    bandwidth_sweep,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig09,
+    fig10,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    recovery,
+    table2,
+    table3,
+    table4,
+)
+from .runner import ExperimentResult
+
+#: Experiment ID -> zero-argument driver producing an ExperimentResult.
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "bandwidth_sweep": bandwidth_sweep.run,
+    "fig03": fig03.run,
+    "fig04": fig04.run,
+    "fig05": fig05.run,
+    "fig06": fig06.run,
+    "fig07": fig07.run,
+    "fig09": fig09.run,
+    "fig10": fig10.run,
+    "fig15": fig15.run,
+    "fig16": fig16.run,
+    "fig17": fig17.run,
+    "fig18": fig18.run,
+    "fig19": fig19.run,
+    "recovery": recovery.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+}
+
+
+def run_experiment(name: str) -> ExperimentResult:
+    """Run one registered experiment by its paper ID."""
+    key = name.lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; options: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[key]()
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment IDs, sorted."""
+    return sorted(EXPERIMENTS)

@@ -1,0 +1,131 @@
+"""Shared infrastructure for the per-figure experiment drivers.
+
+Each driver in this package regenerates one table or figure from the paper:
+it builds the required workloads, runs the relevant system models or the
+functional pipeline, and returns an :class:`ExperimentResult` whose rows
+mirror the figure's data series.  Workload models are cached per
+(scene, frames, speed, count) so multi-figure runs don't re-project scenes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..hw.accelerator import NeoModel
+from ..hw.config import DramConfig, GSCoreConfig
+from ..hw.gpu import OrinGpuModel
+from ..hw.gscore import GSCoreModel
+from ..hw.stages import SequenceReport
+from ..hw.workload import WorkloadModel
+
+#: Frames simulated per sequence.  The paper renders 60; traffic totals are
+#: reported via :meth:`SequenceReport.traffic_gb_for` so the extrapolation
+#: is explicit.
+DEFAULT_FRAMES = 12
+
+#: Frames the paper's traffic figures accumulate over.
+PAPER_TRAFFIC_FRAMES = 60
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment driver.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (e.g. ``"fig15"``).
+    description:
+        What the paper figure/table shows.
+    rows:
+        One dict per data point, mirroring the figure's series.
+    """
+
+    name: str
+    description: str
+    rows: list[dict] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Render the rows as an aligned text table."""
+        if not self.rows:
+            return f"{self.name}: (no rows)"
+        keys = list(self.rows[0].keys())
+        widths = {
+            k: max(len(k), *(len(_fmt(r.get(k))) for r in self.rows)) for k in keys
+        }
+        header = "  ".join(k.ljust(widths[k]) for k in keys)
+        lines = [f"== {self.name}: {self.description} ==", header]
+        for row in self.rows:
+            lines.append("  ".join(_fmt(row.get(k)).ljust(widths[k]) for k in keys))
+        return "\n".join(lines)
+
+    def column(self, key: str) -> list:
+        """Extract one column across all rows."""
+        return [row[key] for row in self.rows]
+
+    def filter(self, **conditions) -> "list[dict]":
+        """Rows matching all key=value conditions."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(k) == v for k, v in conditions.items())
+        ]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+@lru_cache(maxsize=64)
+def get_workload_model(
+    scene: str,
+    num_frames: int = DEFAULT_FRAMES,
+    speed: float = 1.0,
+    num_gaussians: int | None = None,
+) -> WorkloadModel:
+    """Memoized workload-model capture for a scene preset."""
+    return WorkloadModel.from_scene(
+        scene, num_frames=num_frames, speed=speed, num_gaussians=num_gaussians
+    )
+
+
+def simulate_system(
+    system: str,
+    scene: str,
+    resolution: str,
+    num_frames: int = DEFAULT_FRAMES,
+    speed: float = 1.0,
+    cores: int = 16,
+    bandwidth_gbps: float = 51.2,
+    **model_kwargs,
+) -> SequenceReport:
+    """Simulate one (system, scene, resolution) cell.
+
+    ``system`` is one of ``"orin"``, ``"gscore"``, ``"neo"``, ``"neo-s"``,
+    ``"orin-neo-sw"``.  ASIC models use the edge DRAM bandwidth; the GPU
+    always runs at Orin's native 204.8 GB/s.
+    """
+    wm = get_workload_model(scene, num_frames=num_frames, speed=speed)
+    dram = DramConfig(bandwidth_gbps=bandwidth_gbps)
+    if system == "orin":
+        model = OrinGpuModel(**model_kwargs)
+        tile = model.config.tile_size
+    elif system == "orin-neo-sw":
+        model = OrinGpuModel(neo_software=True, **model_kwargs)
+        tile = model.config.tile_size
+    elif system == "gscore":
+        model = GSCoreModel(config=GSCoreConfig(cores=cores), dram=dram, **model_kwargs)
+        tile = model.config.tile_size
+    elif system == "neo":
+        model = NeoModel(dram=dram, **model_kwargs)
+        tile = model.config.tile_size
+    elif system == "neo-s":
+        model = NeoModel(dram=dram, sorting_engine_only=True, **model_kwargs)
+        tile = model.config.tile_size
+    else:
+        raise KeyError(f"unknown system {system!r}")
+    workloads = wm.sequence_workloads(resolution, tile)
+    return model.simulate(workloads, scene=scene)

@@ -1,0 +1,25 @@
+"""Table 3 — area and power of the GSCore and Neo accelerators at 7 nm / 1 GHz."""
+
+from __future__ import annotations
+
+from ..hw.area_power import gscore_summary, neo_summary
+from .runner import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    """Total area (mm^2) and power (mW) for both accelerators."""
+    result = ExperimentResult(
+        name="table3",
+        description="Accelerator area/power at 7 nm, 1 GHz",
+    )
+    for entry in (gscore_summary(), neo_summary()):
+        result.rows.append(
+            {
+                "device": entry.name,
+                "technology": "7 nm",
+                "frequency": "1 GHz",
+                "area_mm2": entry.area_mm2,
+                "power_mw": entry.power_mw,
+            }
+        )
+    return result

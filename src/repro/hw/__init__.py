@@ -1,0 +1,98 @@
+"""Hardware performance models: Neo accelerator, GSCore, Orin AGX GPU."""
+
+from .accelerator import NeoModel
+from .area_power import (
+    AreaPowerEntry,
+    gscore_summary,
+    neo_breakdown,
+    neo_summary,
+    scale_technology,
+)
+from .config import (
+    EDGE_BANDWIDTH_GBPS,
+    ORIN_BANDWIDTH_GBPS,
+    DramConfig,
+    GpuConfig,
+    GSCoreConfig,
+    NeoConfig,
+)
+from .dram import DramModel, TrafficLedger
+from .energy import (
+    DRAM_PJ_PER_BYTE,
+    EnergyReport,
+    efficiency_comparison,
+    energy_report,
+)
+from .gpu import OrinGpuModel
+from .gscore import GSCoreModel
+from .preprocess_engine import PreprocessEngineSim, PreprocessReport
+from .raster_engine import (
+    RasterEngineReport,
+    RasterEngineSim,
+    SubtileGroupWork,
+    TileTimeline,
+    groups_for_tile,
+    rasterize_tile_timeline,
+)
+from .sorting_engine import (
+    ChunkJob,
+    SortingEngineReport,
+    SortingEngineSim,
+    chunk_compute_cycles,
+    jobs_from_occupancy,
+)
+from .stages import (
+    FEATURE_2D_BYTES,
+    FEATURE_3D_BYTES,
+    FrameReport,
+    SequenceReport,
+    StageTraffic,
+    effective_pairs,
+)
+from .workload import FrameGeometry, FrameWorkload, WorkloadModel, pair_lists
+
+__all__ = [
+    "AreaPowerEntry",
+    "DRAM_PJ_PER_BYTE",
+    "DramConfig",
+    "DramModel",
+    "EnergyReport",
+    "efficiency_comparison",
+    "energy_report",
+    "EDGE_BANDWIDTH_GBPS",
+    "FEATURE_2D_BYTES",
+    "FEATURE_3D_BYTES",
+    "FrameGeometry",
+    "FrameReport",
+    "FrameWorkload",
+    "GSCoreConfig",
+    "GSCoreModel",
+    "GpuConfig",
+    "NeoConfig",
+    "NeoModel",
+    "ORIN_BANDWIDTH_GBPS",
+    "OrinGpuModel",
+    "ChunkJob",
+    "PreprocessEngineSim",
+    "PreprocessReport",
+    "RasterEngineReport",
+    "RasterEngineSim",
+    "SortingEngineReport",
+    "SortingEngineSim",
+    "SubtileGroupWork",
+    "TileTimeline",
+    "chunk_compute_cycles",
+    "groups_for_tile",
+    "jobs_from_occupancy",
+    "rasterize_tile_timeline",
+    "SequenceReport",
+    "StageTraffic",
+    "TrafficLedger",
+    "WorkloadModel",
+    "effective_pairs",
+    "gscore_summary",
+    "neo_breakdown",
+    "neo_summary",
+    "pair_lists",
+    "scale_technology",
+]

@@ -1,0 +1,216 @@
+"""Neo accelerator performance model (paper section 5).
+
+Three engines process frames in a tile-pipelined fashion:
+
+* **Preprocessing Engine** — culling, feature extraction, duplication with
+  the incoming-Gaussian verification step;
+* **Sorting Engine** — 16 Sorting Cores running Dynamic Partial Sorting on
+  the reused per-tile tables plus conventional sorting of the (small)
+  incoming tables; each table entry crosses the off-chip interface once per
+  direction per frame;
+* **Rasterization Engine** — 4 cores x 4 ITU/SCU with on-the-fly subtile
+  bitmaps and the deferred depth update folded into the feature fetch.
+
+Latency = max(DRAM service time, slowest engine's compute time) + a small
+serial overhead, reflecting the deeply pipelined design: in every evaluated
+configuration Neo is memory-bound, which is why cutting sorting traffic
+translates almost 1:1 into frame time.
+
+Ablations (Fig. 18):
+
+* ``sorting_engine_only=True`` (**Neo-S**) — the Sorting Engine is attached
+  to a GSCore-style rasterizer: reuse-and-update works, but depth/valid-bit
+  refresh needs a separate post-processing pass with per-Gaussian *random*
+  DRAM reads, and subtile bitmaps are still materialized and propagated.
+* ``defer_depth_update=False`` — keep Neo's rasterizer but fetch fresh
+  depths eagerly each frame (the +33.2 % traffic variant of section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import DramConfig, NeoConfig
+from .stages import (
+    CULL_PROBE_BYTES,
+    FEATURE_2D_BYTES,
+    FEATURE_3D_BYTES,
+    PIXEL_BYTES,
+    FrameReport,
+    SequenceReport,
+    StageTraffic,
+    effective_pairs,
+)
+from .workload import FrameWorkload
+
+#: Gaussian-table entry bytes (32-bit ID with valid bit + 32-bit depth).
+_ENTRY_BYTES = 8
+
+#: Front-most Gaussians per 64 px tile before transmittance saturates.  A
+#: 64 px tile holds 16x the pixels of GSCore's 16 px tile, so proportionally
+#: more front splats are needed to cover all its subtiles.
+_TERMINATION_DEPTH_64 = 1000
+
+#: DRAM efficiency for Neo's almost fully streaming access pattern.
+_DRAM_EFFICIENCY = 0.82
+
+#: Burst size charged for the Neo-S ablation's random per-Gaussian depth
+#: fetches (one LPDDR4 burst each).
+_RANDOM_BURST_BYTES = 32
+
+#: Bandwidth efficiency of that random-access pass.
+_RANDOM_EFFICIENCY = 0.35
+
+#: Subtile bitmap bytes per pair for the Neo-S ablation (64 subtiles in a
+#: 64 px tile -> 8 bytes), written at preprocessing and read at raster.
+_BITMAP_BYTES_64 = 8
+
+#: Sorting Core cycles per table entry: 256-entry chunk = 16 BSU sub-sorts
+#: (10 stages each) + 4 MSU+ merge levels (256 cycles each) ~= 4.6/entry.
+_SORT_CYCLES_PER_ENTRY = 4.6
+
+#: SCU cycles per blended pair (subtile blend inner loop).
+_RASTER_CYCLES_PER_PAIR = 16.0
+
+#: Preprocessing cycles per scene Gaussian per unit.
+_PREPROC_CYCLES_PER_GAUSSIAN = 1.0
+
+#: Per-frame serial overhead (engine drain, table pointer swap).
+_SERIAL_OVERHEAD_S = 0.8e-3
+
+#: Off-chip passes charged for a from-scratch sort on the first frame.
+_INIT_SORT_PASSES = 2
+
+
+@dataclass
+class NeoModel:
+    """Performance model of the Neo accelerator.
+
+    Parameters
+    ----------
+    config:
+        Hardware configuration (Table 1).
+    dram:
+        Off-chip memory parameters.
+    sorting_engine_only:
+        Model the Neo-S ablation (no Rasterization Engine support).
+    defer_depth_update:
+        Disable to model the eager depth-refresh ablation.
+    """
+
+    config: NeoConfig = field(default_factory=NeoConfig)
+    dram: DramConfig = field(default_factory=DramConfig)
+    sorting_engine_only: bool = False
+    defer_depth_update: bool = True
+    name: str = "neo"
+
+    def __post_init__(self) -> None:
+        if self.sorting_engine_only:
+            self.name = "neo-s"
+        elif not self.defer_depth_update:
+            self.name = "neo-eager-depth"
+
+    # ------------------------------------------------------------------
+    def frame_traffic(self, workload: FrameWorkload) -> StageTraffic:
+        """DRAM bytes per stage for one frame (streamed component)."""
+        streamed, _random = self._traffic_split(workload)
+        return streamed
+
+    def _traffic_split(
+        self, workload: FrameWorkload
+    ) -> tuple[StageTraffic, float]:
+        """(streamed stage traffic, random-access bytes) for one frame."""
+        visible = workload.visible
+        total = workload.num_gaussians
+        pairs = workload.pairs
+
+        feature = (
+            visible * FEATURE_3D_BYTES
+            + (total - visible) * CULL_PROBE_BYTES
+            + visible * FEATURE_2D_BYTES
+        )
+
+        if workload.frame_index == 0:
+            # Cold start: conventional sort of every tile from scratch.
+            sorting = pairs * _ENTRY_BYTES * (1 + 2 * _INIT_SORT_PASSES)
+        else:
+            # Dynamic Partial Sorting: one read + one write of the table,
+            # plus the small incoming tables (written by preprocessing,
+            # read back and merged by the Sorting Engine).
+            sorting = 2 * pairs * _ENTRY_BYTES + 2 * workload.incoming_pairs * _ENTRY_BYTES
+
+        random_bytes = 0.0
+        if self.sorting_engine_only:
+            # Post-processing pass: each visible Gaussian's refreshed depth
+            # is gathered from the feature table (random, one burst each)
+            # and the per-tile table metadata is rewritten.
+            random_bytes = visible * _RANDOM_BURST_BYTES
+            sorting += pairs * _ENTRY_BYTES
+        elif not self.defer_depth_update:
+            # Eager refresh: an extra streamed read+write of the table
+            # (section 4.4 reports +33.2 % traffic without deferral).
+            sorting += 2 * pairs * _ENTRY_BYTES
+
+        blended = effective_pairs(workload, _TERMINATION_DEPTH_64)
+        raster = (
+            blended * FEATURE_2D_BYTES
+            + workload.width * workload.height * PIXEL_BYTES
+        )
+        if self.sorting_engine_only:
+            # GSCore-style rasterizer: bitmaps materialized and re-read.
+            raster += 2 * pairs * _BITMAP_BYTES_64
+
+        streamed = StageTraffic(
+            feature_extraction=feature, sorting=sorting, rasterization=raster
+        )
+        return streamed, random_bytes
+
+    # ------------------------------------------------------------------
+    def frame_report(self, workload: FrameWorkload) -> FrameReport:
+        """Latency and traffic for one frame."""
+        streamed, random_bytes = self._traffic_split(workload)
+        peak = self.dram.bandwidth_gbps * 1e9
+        memory_time = streamed.total / (peak * _DRAM_EFFICIENCY)
+        memory_time += random_bytes / (peak * _RANDOM_EFFICIENCY)
+
+        freq = self.config.frequency_ghz * 1e9
+        preproc_time = (
+            workload.num_gaussians
+            * _PREPROC_CYCLES_PER_GAUSSIAN
+            / (self.config.projection_units * freq)
+        )
+        sort_time = (
+            workload.pairs * _SORT_CYCLES_PER_ENTRY / (self.config.sorting_cores * freq)
+        )
+        blended = effective_pairs(workload, _TERMINATION_DEPTH_64)
+        raster_time = blended * _RASTER_CYCLES_PER_PAIR / (self.config.total_scus * freq)
+        compute_time = max(preproc_time, sort_time, raster_time)
+
+        # Include random bytes in the sorting stage for reporting purposes.
+        traffic = StageTraffic(
+            feature_extraction=streamed.feature_extraction,
+            sorting=streamed.sorting + random_bytes,
+            rasterization=streamed.rasterization,
+        )
+        latency_mem = max(memory_time, compute_time) + _SERIAL_OVERHEAD_S
+        return FrameReport(
+            frame_index=workload.frame_index,
+            traffic=traffic,
+            memory_time_s=latency_mem,
+            compute_time_s=0.0,
+        )
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self, workloads: list[FrameWorkload], scene: str = "scene"
+    ) -> SequenceReport:
+        """Simulate a frame sequence and aggregate the reports."""
+        if not workloads:
+            raise ValueError("need at least one workload")
+        report = SequenceReport(
+            system=self.name,
+            scene=scene,
+            resolution=(workloads[0].width, workloads[0].height),
+        )
+        report.frames = [self.frame_report(w) for w in workloads]
+        return report

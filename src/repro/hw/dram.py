@@ -1,0 +1,99 @@
+"""LPDDR4-class DRAM timing/traffic model (Ramulator-lite).
+
+The paper models off-chip memory as LPDDR4 via Ramulator.  For the
+bandwidth-bound behaviour that drives every result here, what matters is
+(1) how many bytes cross the interface and (2) the achievable bandwidth for
+streaming vs. scattered access.  This model tracks both, with burst-size
+round-up for small requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import DramConfig
+
+
+@dataclass
+class TrafficLedger:
+    """Byte counts accumulated by access category."""
+
+    streamed_bytes: int = 0
+    random_bytes: int = 0
+    requests: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes moved, both patterns."""
+        return self.streamed_bytes + self.random_bytes
+
+
+@dataclass
+class DramModel:
+    """Accounts traffic and converts bytes to service time.
+
+    Parameters
+    ----------
+    config:
+        Bandwidth / efficiency / burst parameters.
+    """
+
+    config: DramConfig = field(default_factory=DramConfig)
+    ledger: TrafficLedger = field(default_factory=TrafficLedger)
+
+    def _round_up(self, num_bytes: int) -> int:
+        burst = self.config.burst_bytes
+        return -(-num_bytes // burst) * burst if num_bytes > 0 else 0
+
+    def stream(self, num_bytes: int) -> int:
+        """Record a streaming (sequential, row-hit friendly) transfer.
+
+        Returns the bytes actually charged (burst rounded).
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        charged = self._round_up(num_bytes)
+        self.ledger.streamed_bytes += charged
+        self.ledger.requests += 1
+        return charged
+
+    def scatter(self, num_requests: int, bytes_per_request: int) -> int:
+        """Record scattered accesses (row-miss heavy, e.g. random gathers).
+
+        Each request is rounded up to a burst individually — this is what
+        makes per-Gaussian random depth fetches so expensive (section 4.4).
+        """
+        if num_requests < 0 or bytes_per_request < 0:
+            raise ValueError("arguments must be non-negative")
+        charged = num_requests * self._round_up(bytes_per_request)
+        self.ledger.random_bytes += charged
+        self.ledger.requests += num_requests
+        return charged
+
+    def service_time_s(
+        self, streamed_bytes: int | None = None, random_bytes: int | None = None
+    ) -> float:
+        """Time to serve the given traffic (defaults to the ledger totals)."""
+        if streamed_bytes is None:
+            streamed_bytes = self.ledger.streamed_bytes
+        if random_bytes is None:
+            random_bytes = self.ledger.random_bytes
+        peak = self.config.bandwidth_gbps * 1e9
+        return (
+            streamed_bytes / (peak * self.config.efficiency)
+            + random_bytes / (peak * self.config.random_efficiency)
+        )
+
+    def effective_bandwidth_gbps(self, streamed_fraction: float = 1.0) -> float:
+        """Achievable bandwidth for a mix of streaming/random traffic."""
+        if not 0.0 <= streamed_fraction <= 1.0:
+            raise ValueError("streamed_fraction must be in [0, 1]")
+        eff = (
+            streamed_fraction * self.config.efficiency
+            + (1.0 - streamed_fraction) * self.config.random_efficiency
+        )
+        return self.config.bandwidth_gbps * eff
+
+    def reset(self) -> None:
+        """Clear the ledger."""
+        self.ledger = TrafficLedger()

@@ -1,0 +1,85 @@
+"""Energy model: joules per frame and per-pixel efficiency.
+
+The paper reports power (Tables 3-4); combining it with the performance
+models yields energy per frame — the metric a battery-powered AR/VR device
+actually budgets.  Neo draws ~11 % more power than GSCore (797.8 vs
+719.9 mW) but finishes QHD frames ~5x sooner, so its energy per frame is
+several times lower; this module quantifies that, including DRAM access
+energy, which at edge scale rivals accelerator core energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .area_power import gscore_summary, neo_summary
+from .stages import SequenceReport
+
+#: DRAM access energy per byte for LPDDR4-class memory (~4 pJ/bit).
+DRAM_PJ_PER_BYTE = 32.0
+
+#: Orin AGX board power while rendering (the 60 W envelope, derated to the
+#: sustained rendering draw).
+ORIN_RENDER_WATTS = 30.0
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting for one simulated sequence.
+
+    Attributes
+    ----------
+    system:
+        System label.
+    core_mj_per_frame:
+        Accelerator/GPU core energy per frame (millijoules).
+    dram_mj_per_frame:
+        DRAM access energy per frame (millijoules).
+    """
+
+    system: str
+    core_mj_per_frame: float
+    dram_mj_per_frame: float
+
+    @property
+    def total_mj_per_frame(self) -> float:
+        """Core + DRAM energy per frame in millijoules."""
+        return self.core_mj_per_frame + self.dram_mj_per_frame
+
+    def mj_per_megapixel(self, width: int, height: int) -> float:
+        """Energy per rendered megapixel."""
+        return self.total_mj_per_frame / (width * height / 1e6)
+
+
+def _device_watts(system: str) -> float:
+    if system.startswith("neo"):
+        return neo_summary().power_mw / 1e3
+    if system.startswith("gscore"):
+        return gscore_summary().power_mw / 1e3
+    if system.startswith("orin"):
+        return ORIN_RENDER_WATTS
+    raise KeyError(f"unknown system {system!r}")
+
+
+def energy_report(report: SequenceReport) -> EnergyReport:
+    """Energy per frame for a simulated sequence.
+
+    Core energy is device power times mean frame latency; DRAM energy is
+    the per-frame traffic times the per-byte access energy.
+    """
+    if report.num_frames == 0:
+        raise ValueError("empty sequence report")
+    watts = _device_watts(report.system)
+    core_j = watts * report.mean_latency_s
+    bytes_per_frame = report.total_traffic.total / report.num_frames
+    dram_j = bytes_per_frame * DRAM_PJ_PER_BYTE * 1e-12
+    return EnergyReport(
+        system=report.system,
+        core_mj_per_frame=core_j * 1e3,
+        dram_mj_per_frame=dram_j * 1e3,
+    )
+
+
+def efficiency_comparison(reports: list[SequenceReport]) -> list[EnergyReport]:
+    """Energy reports for several systems over the same workload."""
+    return [energy_report(r) for r in reports]

@@ -1,0 +1,174 @@
+"""Pipelined model of Neo's Rasterization Engine (paper section 5.4, Fig. 14).
+
+Each Rasterization Core pairs Intersection Test Units (ITUs) with Subtile
+Compute Units (SCUs).  Subtiles are processed in groups: while the SCUs
+alpha-blend group *g*, the ITUs already compute the intersection bitmaps of
+group *g+1*, hiding the latency of on-the-fly bitmap generation (the
+traffic-free alternative to GSCore's precomputed bitmaps).
+
+The model reproduces the Fig. 14 timeline exactly: for a tile with groups
+``g_0..g_{n-1}``, total latency is
+
+    itu(g_0) + sum_i max(scu(g_i), itu(g_{i+1}))  + scu tail,
+
+i.e. a two-stage pipeline whose throughput is set by the slower stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import NeoConfig
+
+#: ITU cycles to test one Gaussian against one subtile group (bounding-box
+#: clamp + distance compare per subtile, fully parallel across the group).
+ITU_CYCLES_PER_GAUSSIAN = 1.0
+
+#: SCU cycles to blend one Gaussian into one subtile it intersects
+#: (8x8 pixels through a 16-lane MAC array -> 4 cycles/subtile).
+SCU_CYCLES_PER_HIT = 4.0
+
+
+@dataclass(frozen=True)
+class SubtileGroupWork:
+    """Work arriving at one subtile group of a tile.
+
+    Attributes
+    ----------
+    gaussians:
+        Gaussians whose bitmaps this group must test (the tile's list
+        length, possibly truncated by early termination).
+    hits:
+        (Gaussian, subtile) intersections the SCUs actually blend.
+    """
+
+    gaussians: int
+    hits: int
+
+
+@dataclass
+class TileTimeline:
+    """Cycle accounting for one tile's pipelined rasterization."""
+
+    total_cycles: float = 0.0
+    itu_cycles: float = 0.0
+    scu_cycles: float = 0.0
+    itu_idle_cycles: float = 0.0
+    scu_stall_cycles: float = 0.0
+
+    @property
+    def pipeline_efficiency(self) -> float:
+        """SCU busy share of the tile's total latency (1.0 = fully hidden ITU)."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.scu_cycles / self.total_cycles
+
+
+def rasterize_tile_timeline(
+    groups: list[SubtileGroupWork],
+    itu_cycles_per_gaussian: float = ITU_CYCLES_PER_GAUSSIAN,
+    scu_cycles_per_hit: float = SCU_CYCLES_PER_HIT,
+) -> TileTimeline:
+    """Simulate the ITU/SCU pipeline over one tile's subtile groups."""
+    timeline = TileTimeline()
+    if not groups:
+        return timeline
+
+    itu_times = [g.gaussians * itu_cycles_per_gaussian for g in groups]
+    scu_times = [g.hits * scu_cycles_per_hit for g in groups]
+    timeline.itu_cycles = sum(itu_times)
+    timeline.scu_cycles = sum(scu_times)
+
+    # Stage 1 (ITU) feeds stage 2 (SCU); group g's blending cannot start
+    # before its bitmaps are ready, and the single SCU bank processes
+    # groups in order.
+    itu_done = 0.0
+    scu_done = 0.0
+    for itu_t, scu_t in zip(itu_times, scu_times):
+        itu_start = itu_done
+        itu_done = itu_start + itu_t
+        scu_start = max(itu_done, scu_done)
+        timeline.scu_stall_cycles += max(itu_done - scu_done, 0.0) if scu_done > 0 else 0.0
+        scu_done = scu_start + scu_t
+    timeline.total_cycles = scu_done
+    timeline.itu_idle_cycles = max(scu_done - timeline.itu_cycles, 0.0)
+    return timeline
+
+
+def groups_for_tile(
+    num_gaussians: int,
+    subtile_hits: int,
+    config: NeoConfig | None = None,
+) -> list[SubtileGroupWork]:
+    """Split a tile's work into SCU-group units.
+
+    A 64 px tile contains ``(64/8)^2 = 64`` subtiles processed in groups of
+    ``scu_per_core``; intersections are spread evenly across groups (the
+    hardware's round-robin routing approximates this).
+    """
+    cfg = config or NeoConfig()
+    subtiles = (cfg.tile_size // cfg.subtile_size) ** 2
+    num_groups = max(subtiles // cfg.scu_per_core, 1)
+    hits_per_group = subtile_hits / num_groups
+    return [
+        SubtileGroupWork(gaussians=num_gaussians, hits=int(round(hits_per_group)))
+        for _ in range(num_groups)
+    ]
+
+
+@dataclass
+class RasterEngineReport:
+    """Frame-level aggregate over all tiles and cores."""
+
+    total_cycles: float = 0.0
+    tiles: int = 0
+    scu_cycles: float = 0.0
+    itu_cycles: float = 0.0
+    timelines: list[TileTimeline] = field(default_factory=list)
+
+    @property
+    def mean_pipeline_efficiency(self) -> float:
+        """Average SCU-busy share across tiles."""
+        if not self.timelines:
+            return 0.0
+        return sum(t.pipeline_efficiency for t in self.timelines) / len(self.timelines)
+
+
+@dataclass
+class RasterEngineSim:
+    """Frame-level Rasterization Engine simulator.
+
+    Tiles are distributed round-robin across ``raster_cores``; each core
+    runs its tiles' ITU/SCU pipelines back to back.
+    """
+
+    config: NeoConfig = field(default_factory=NeoConfig)
+
+    def simulate_frame(
+        self, tile_gaussians: list[int], tile_hits: list[int]
+    ) -> RasterEngineReport:
+        """Simulate one frame.
+
+        Parameters
+        ----------
+        tile_gaussians:
+            Per-tile list length walked by the ITUs.
+        tile_hits:
+            Per-tile (Gaussian, subtile) intersections blended by the SCUs.
+        """
+        if len(tile_gaussians) != len(tile_hits):
+            raise ValueError("tile_gaussians and tile_hits must align")
+        report = RasterEngineReport()
+        core_time = [0.0] * self.config.raster_cores
+        for i, (gaussians, hits) in enumerate(zip(tile_gaussians, tile_hits)):
+            if gaussians <= 0:
+                continue
+            timeline = rasterize_tile_timeline(groups_for_tile(gaussians, hits, self.config))
+            core = i % self.config.raster_cores
+            core_time[core] += timeline.total_cycles
+            report.timelines.append(timeline)
+            report.tiles += 1
+            report.scu_cycles += timeline.scu_cycles
+            report.itu_cycles += timeline.itu_cycles
+        report.total_cycles = max(core_time) if core_time else 0.0
+        return report

@@ -1,0 +1,167 @@
+"""Shared per-frame report types for the hardware performance models.
+
+Every system model (Orin GPU, GSCore, Neo) produces, per frame, a traffic
+breakdown across the three memory-relevant pipeline stages (feature
+extraction, sorting, rasterization) and a latency decomposition into memory
+service time and compute time.  Sequence-level reports aggregate these into
+the FPS / GB numbers the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .workload import FrameWorkload
+
+#: Bytes read per Gaussian from the off-chip 3D feature table during feature
+#: extraction (mean 12 + quat 16 + scale 12 + opacity 4 + degree-3 SH 192,
+#: padded).
+FEATURE_3D_BYTES = 240
+
+#: Bytes per projected (2D) Gaussian record consumed by rasterization
+#: (mean 8 + conic 12 + color 12 + opacity 4 + depth 4 + radius 4, padded).
+FEATURE_2D_BYTES = 48
+
+#: Bytes of the position/bound data culling touches for off-screen Gaussians.
+CULL_PROBE_BYTES = 16
+
+#: Output framebuffer bytes per pixel (RGBA8).
+PIXEL_BYTES = 4
+
+
+@dataclass
+class StageTraffic:
+    """Per-stage DRAM traffic in bytes for one frame."""
+
+    feature_extraction: float = 0.0
+    sorting: float = 0.0
+    rasterization: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """All bytes moved this frame."""
+        return self.feature_extraction + self.sorting + self.rasterization
+
+    def fractions(self) -> dict[str, float]:
+        """Per-stage share of the total (zeros if no traffic)."""
+        total = self.total
+        if total <= 0:
+            return {"feature_extraction": 0.0, "sorting": 0.0, "rasterization": 0.0}
+        return {
+            "feature_extraction": self.feature_extraction / total,
+            "sorting": self.sorting / total,
+            "rasterization": self.rasterization / total,
+        }
+
+    def add(self, other: "StageTraffic") -> None:
+        """Accumulate another frame's traffic."""
+        self.feature_extraction += other.feature_extraction
+        self.sorting += other.sorting
+        self.rasterization += other.rasterization
+
+
+@dataclass
+class FrameReport:
+    """One frame's performance on one system.
+
+    Attributes
+    ----------
+    traffic:
+        DRAM bytes per stage.
+    memory_time_s:
+        DRAM service time for the frame's traffic.
+    compute_time_s:
+        Compute-side time (post-overlap residual; the models treat frame
+        latency as memory time plus the non-hidden compute component).
+    """
+
+    frame_index: int
+    traffic: StageTraffic
+    memory_time_s: float
+    compute_time_s: float
+
+    @property
+    def latency_s(self) -> float:
+        """Frame latency in seconds."""
+        return self.memory_time_s + self.compute_time_s
+
+    @property
+    def latency_ms(self) -> float:
+        """Frame latency in milliseconds."""
+        return self.latency_s * 1e3
+
+    @property
+    def fps(self) -> float:
+        """Instantaneous throughput implied by this frame's latency."""
+        return 1.0 / self.latency_s if self.latency_s > 0 else float("inf")
+
+
+@dataclass
+class SequenceReport:
+    """Aggregated performance over a rendered sequence."""
+
+    system: str
+    scene: str
+    resolution: tuple[int, int]
+    frames: list[FrameReport] = field(default_factory=list)
+
+    @property
+    def num_frames(self) -> int:
+        """Frames simulated."""
+        return len(self.frames)
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Average frame latency."""
+        if not self.frames:
+            return 0.0
+        return float(np.mean([f.latency_s for f in self.frames]))
+
+    @property
+    def fps(self) -> float:
+        """Throughput: frames per second at the mean latency."""
+        lat = self.mean_latency_s
+        return 1.0 / lat if lat > 0 else float("inf")
+
+    @property
+    def total_traffic(self) -> StageTraffic:
+        """Summed traffic across the sequence."""
+        total = StageTraffic()
+        for f in self.frames:
+            total.add(f.traffic)
+        return total
+
+    def total_traffic_gb(self) -> float:
+        """Total DRAM traffic in gigabytes."""
+        return self.total_traffic.total / 1e9
+
+    def traffic_gb_for(self, num_frames: int) -> float:
+        """Traffic extrapolated to ``num_frames`` (the paper reports 60)."""
+        if not self.frames:
+            return 0.0
+        per_frame = self.total_traffic.total / self.num_frames
+        return per_frame * num_frames / 1e9
+
+    def latencies_ms(self) -> np.ndarray:
+        """Per-frame latency series in milliseconds (Fig. 19a)."""
+        return np.asarray([f.latency_ms for f in self.frames])
+
+
+def effective_pairs(
+    workload: FrameWorkload, termination_depth: float
+) -> float:
+    """Pairs actually blended before per-tile early termination.
+
+    With thousands of Gaussians per tile, alpha blending saturates
+    transmittance long before the list is exhausted.  We model the processed
+    prefix per tile as ``min(occupancy, termination_depth)`` where
+    ``termination_depth`` is the mean number of front-most Gaussians needed
+    to opacify a tile (calibrated per tile size; opacity statistics are
+    scene-preset properties).
+    """
+    if workload.nonempty_tiles == 0:
+        return 0.0
+    per_tile = min(workload.mean_occupancy, termination_depth)
+    return per_tile * workload.nonempty_tiles

@@ -1,0 +1,459 @@
+"""Workload extraction: from functional renders to paper-scale statistics.
+
+The pure-Python pipeline renders reduced scenes (10^3-10^4 Gaussians), but
+the hardware models need workloads at the paper's scale (10^6 Gaussians,
+HD-QHD resolutions).  The bridge is geometric: a frame's sorting/raster
+workload is fully determined by the visible Gaussians' screen positions,
+radii and depths, and those re-scale analytically:
+
+* resolution: focal length scales with image height, so screen positions and
+  radii scale by ``target_height / capture_height``;
+* Gaussian count: per-tile occupancy and pair counts scale linearly with the
+  instantiated count (splats are i.i.d. within the preset's distribution),
+  so counts multiply by ``nominal / functional``.
+
+:class:`WorkloadModel` captures per-frame geometry once (culling +
+projection only — no rasterization) and answers pair counts, occupancy,
+churn, and order-difference queries for any (resolution, tile size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..pipeline.culling import frustum_cull
+from ..pipeline.projection import project_gaussians
+from ..scene.camera import Camera, resolution as named_resolution
+from ..scene.datasets import default_trajectory, load_scene, scene_spec
+from ..scene.gaussians import GaussianScene
+
+#: Capture resolution for workload extraction; small enough to be fast,
+#: large enough that tile geometry at scaled resolutions is well sampled.
+CAPTURE_WIDTH = 480
+CAPTURE_HEIGHT = 270
+
+
+@dataclass(frozen=True)
+class FrameGeometry:
+    """Visible-Gaussian geometry for one frame at capture resolution."""
+
+    ids: np.ndarray
+    means2d: np.ndarray
+    radii: np.ndarray
+    depths: np.ndarray
+
+    @property
+    def num_visible(self) -> int:
+        """Visible Gaussians this frame (functional count)."""
+        return self.ids.shape[0]
+
+
+@dataclass(frozen=True)
+class FrameWorkload:
+    """Paper-scale workload statistics for one frame at one configuration.
+
+    All counts are scaled to the scene's *nominal* Gaussian count.
+
+    Attributes
+    ----------
+    visible:
+        Gaussians surviving culling.
+    pairs:
+        Tile-Gaussian duplication pairs (sorting workload).
+    incoming_pairs / outgoing_pairs:
+        Pairs entering / leaving their tile since the previous frame
+        (zero for frame 0).
+    nonempty_tiles:
+        Tiles with at least one Gaussian.
+    mean_occupancy:
+        Mean pairs per nonempty tile.
+    chunks:
+        Total 256-entry sorting chunks across tiles.
+    mean_radius_px:
+        Mean splat radius at the target resolution (pixels), used by the
+        blend-work estimates.
+    """
+
+    frame_index: int
+    width: int
+    height: int
+    tile_size: int
+    num_gaussians: float
+    visible: float
+    pairs: float
+    incoming_pairs: float
+    outgoing_pairs: float
+    nonempty_tiles: int
+    num_tiles: int
+    mean_occupancy: float
+    chunks: float
+    mean_radius_px: float = 0.0
+
+    @property
+    def churn_fraction(self) -> float:
+        """Incoming pairs as a share of all pairs."""
+        return self.incoming_pairs / self.pairs if self.pairs else 0.0
+
+    @property
+    def retained_fraction(self) -> float:
+        """Share of pairs carried over from the previous frame."""
+        return 1.0 - self.churn_fraction
+
+
+def pair_lists(
+    means2d: np.ndarray,
+    radii: np.ndarray,
+    width: int,
+    height: int,
+    tile_size: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute (tile, Gaussian-row) duplication pairs for given geometry.
+
+    Same geometry as :func:`repro.pipeline.tiling.assign_to_tiles` (bbox
+    expansion refined by an exact circle-vs-tile test) but standalone, so it
+    can run on analytically re-scaled coordinates.
+    """
+    m = means2d.shape[0]
+    if m == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    tiles_x = -(-width // tile_size)
+    tiles_y = -(-height // tile_size)
+    x, y, r = means2d[:, 0], means2d[:, 1], radii
+
+    tx0 = np.clip(np.floor((x - r) / tile_size).astype(np.int64), 0, tiles_x - 1)
+    ty0 = np.clip(np.floor((y - r) / tile_size).astype(np.int64), 0, tiles_y - 1)
+    tx1 = np.clip(np.floor((x + r) / tile_size).astype(np.int64), -1, tiles_x - 1)
+    ty1 = np.clip(np.floor((y + r) / tile_size).astype(np.int64), -1, tiles_y - 1)
+    off = (x + r < 0) | (y + r < 0) | (x - r >= width) | (y - r >= height)
+    tx1[off] = tx0[off] - 1
+
+    nx = np.maximum(tx1 - tx0 + 1, 0)
+    ny = np.maximum(ty1 - ty0 + 1, 0)
+    counts = nx * ny
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    rows = np.repeat(np.arange(m, dtype=np.int64), counts)
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    local = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    nx_rep = np.repeat(np.maximum(nx, 1), counts)
+    dx = local % nx_rep
+    dy = local // nx_rep
+    tiles = (np.repeat(ty0, counts) + dy) * tiles_x + np.repeat(tx0, counts) + dx
+
+    # Exact circle-vs-rect refinement.
+    tile_px = (tiles % tiles_x) * tile_size
+    tile_py = (tiles // tiles_x) * tile_size
+    cx = x[rows]
+    cy = y[rows]
+    rr = r[rows]
+    qx = np.clip(cx, tile_px, np.minimum(tile_px + tile_size, width))
+    qy = np.clip(cy, tile_py, np.minimum(tile_py + tile_size, height))
+    keep = (qx - cx) ** 2 + (qy - cy) ** 2 <= rr * rr
+    return tiles[keep], rows[keep]
+
+
+class WorkloadModel:
+    """Per-frame geometry capture plus scaled workload queries.
+
+    Parameters
+    ----------
+    frames:
+        Captured per-frame geometry at ``capture_width x capture_height``.
+    capture_width, capture_height:
+        Resolution the geometry was captured at.
+    count_scale:
+        ``nominal_gaussians / functional_gaussians`` for the scene.
+    functional_gaussians:
+        Instantiated Gaussian count.
+    scene_name:
+        Label for reporting.
+    """
+
+    def __init__(
+        self,
+        frames: list[FrameGeometry],
+        capture_width: int,
+        capture_height: int,
+        count_scale: float,
+        functional_gaussians: int,
+        scene_name: str = "scene",
+    ) -> None:
+        if not frames:
+            raise ValueError("need at least one frame")
+        if count_scale <= 0:
+            raise ValueError("count_scale must be positive")
+        self.frames = frames
+        self.capture_width = capture_width
+        self.capture_height = capture_height
+        self.count_scale = count_scale
+        self.functional_gaussians = functional_gaussians
+        self.scene_name = scene_name
+        self._pair_cache: dict[tuple[int, int, int, int], tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_scene(
+        scene_name: str,
+        num_frames: int = 30,
+        speed: float = 1.0,
+        num_gaussians: int | None = None,
+        capture_width: int = CAPTURE_WIDTH,
+        capture_height: int = CAPTURE_HEIGHT,
+    ) -> "WorkloadModel":
+        """Capture a workload model for a registered scene preset."""
+        spec = scene_spec(scene_name)
+        scene = load_scene(scene_name, num_gaussians=num_gaussians)
+        cameras = default_trajectory(
+            scene_name,
+            num_frames=num_frames,
+            speed=speed,
+            width=capture_width,
+            height=capture_height,
+        )
+        return WorkloadModel.from_render(
+            scene,
+            cameras,
+            nominal_gaussians=spec.nominal_gaussians,
+            scene_name=scene_name,
+        )
+
+    @staticmethod
+    def from_render(
+        scene: GaussianScene,
+        cameras: list[Camera],
+        nominal_gaussians: int | None = None,
+        scene_name: str | None = None,
+    ) -> "WorkloadModel":
+        """Capture geometry by running culling + projection per camera."""
+        frames = []
+        for camera in cameras:
+            culled = frustum_cull(scene, camera)
+            proj = project_gaussians(scene, camera, culled.visible_ids)
+            frames.append(
+                FrameGeometry(
+                    ids=proj.ids.copy(),
+                    means2d=proj.means2d.copy(),
+                    radii=proj.radii.copy(),
+                    depths=proj.depths.copy(),
+                )
+            )
+        nominal = nominal_gaussians if nominal_gaussians is not None else len(scene)
+        return WorkloadModel(
+            frames=frames,
+            capture_width=cameras[0].width,
+            capture_height=cameras[0].height,
+            count_scale=nominal / max(len(scene), 1),
+            functional_gaussians=len(scene),
+            scene_name=scene_name or scene.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_frames(self) -> int:
+        """Frames captured."""
+        return len(self.frames)
+
+    def _resolve(self, resolution: str | tuple[int, int]) -> tuple[int, int]:
+        if isinstance(resolution, str):
+            return named_resolution(resolution)
+        return resolution
+
+    def scaled_geometry(
+        self, frame: int, resolution: str | tuple[int, int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(means2d, radii) re-scaled to the target resolution."""
+        width, height = self._resolve(resolution)
+        geo = self.frames[frame]
+        s = height / self.capture_height
+        return geo.means2d * s, geo.radii * s
+
+    def frame_pairs(
+        self, frame: int, resolution: str | tuple[int, int], tile_size: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(tile, Gaussian-row) pair lists at the target configuration.
+
+        Rows index the frame's :class:`FrameGeometry` arrays; cached.
+        """
+        width, height = self._resolve(resolution)
+        key = (frame, width, height, tile_size)
+        if key not in self._pair_cache:
+            means2d, radii = self.scaled_geometry(frame, (width, height))
+            self._pair_cache[key] = pair_lists(means2d, radii, width, height, tile_size)
+        return self._pair_cache[key]
+
+    def frame_workload(
+        self, frame: int, resolution: str | tuple[int, int], tile_size: int
+    ) -> FrameWorkload:
+        """Paper-scale workload for one frame at one configuration."""
+        width, height = self._resolve(resolution)
+        tiles, rows = self.frame_pairs(frame, (width, height), tile_size)
+        geo = self.frames[frame]
+        tiles_x = -(-width // tile_size)
+        tiles_y = -(-height // tile_size)
+        num_tiles = tiles_x * tiles_y
+
+        occupancy = np.bincount(tiles, minlength=num_tiles)
+        nonempty = int(np.count_nonzero(occupancy))
+        pairs_f = tiles.shape[0]
+
+        incoming_f, outgoing_f = self._churn_counts(frame, (width, height), tile_size)
+
+        scale = self.count_scale
+        mean_occ = (pairs_f / nonempty * scale) if nonempty else 0.0
+        chunk_size = 256
+        chunks = sum(
+            -(-int(c * scale) // chunk_size) for c in occupancy[occupancy > 0]
+        )
+        scale_px = height / self.capture_height
+        mean_radius = float(geo.radii.mean()) * scale_px if geo.num_visible else 0.0
+        return FrameWorkload(
+            frame_index=frame,
+            width=width,
+            height=height,
+            tile_size=tile_size,
+            num_gaussians=self.functional_gaussians * scale,
+            visible=geo.num_visible * scale,
+            pairs=pairs_f * scale,
+            incoming_pairs=incoming_f * scale,
+            outgoing_pairs=outgoing_f * scale,
+            nonempty_tiles=nonempty,
+            num_tiles=num_tiles,
+            mean_occupancy=mean_occ,
+            chunks=float(chunks),
+            mean_radius_px=mean_radius,
+        )
+
+    def sequence_workloads(
+        self, resolution: str | tuple[int, int], tile_size: int
+    ) -> list[FrameWorkload]:
+        """Workloads for every captured frame."""
+        return [
+            self.frame_workload(i, resolution, tile_size) for i in range(self.num_frames)
+        ]
+
+    # ------------------------------------------------------------------
+    # Temporal similarity (Figs. 6-7)
+    # ------------------------------------------------------------------
+    def _pair_keys(
+        self, frame: int, resolution: tuple[int, int], tile_size: int
+    ) -> np.ndarray:
+        """Unique (tile, global-ID) keys for a frame's pairs."""
+        tiles, rows = self.frame_pairs(frame, resolution, tile_size)
+        ids = self.frames[frame].ids[rows]
+        return tiles.astype(np.int64) * (1 << 32) + ids
+
+    def _churn_counts(
+        self, frame: int, resolution: tuple[int, int], tile_size: int
+    ) -> tuple[int, int]:
+        """(incoming, outgoing) pair counts vs. the previous frame."""
+        if frame == 0:
+            return 0, 0
+        cur = self._pair_keys(frame, resolution, tile_size)
+        prev = self._pair_keys(frame - 1, resolution, tile_size)
+        incoming = int(np.count_nonzero(~np.isin(cur, prev)))
+        outgoing = int(np.count_nonzero(~np.isin(prev, cur)))
+        return incoming, outgoing
+
+    def shared_fraction_per_tile(
+        self, frame: int, resolution: str | tuple[int, int], tile_size: int
+    ) -> np.ndarray:
+        """Per-tile share of the previous frame's Gaussians retained (Fig. 6).
+
+        Only tiles nonempty in the previous frame are reported.
+        """
+        if frame == 0:
+            raise ValueError("frame 0 has no predecessor")
+        width, height = self._resolve(resolution)
+        prev_tiles, prev_rows = self.frame_pairs(frame - 1, (width, height), tile_size)
+        cur_keys = self._pair_keys(frame, (width, height), tile_size)
+        prev_ids = self.frames[frame - 1].ids[prev_rows]
+        prev_keys = prev_tiles.astype(np.int64) * (1 << 32) + prev_ids
+        retained = np.isin(prev_keys, cur_keys)
+
+        fractions = []
+        for tile in np.unique(prev_tiles):
+            mask = prev_tiles == tile
+            fractions.append(retained[mask].mean())
+        return np.asarray(fractions)
+
+    def order_differences(
+        self, frame: int, resolution: str | tuple[int, int], tile_size: int
+    ) -> np.ndarray:
+        """Per-Gaussian sort-position shifts between consecutive frames (Fig. 7).
+
+        For every tile, Gaussians shared between frames ``frame-1`` and
+        ``frame`` get a continuous depth percentile (interpolated ECDF of the
+        tile's depth distribution) in both frames; the reported value is the
+        percentile shift converted to *positions at nominal occupancy* (a
+        Gaussian's sort rank is its depth percentile times the table length,
+        and table length grows linearly with Gaussian count).  The
+        interpolation avoids the rank quantization a 10^3-x-reduced
+        functional table would otherwise impose.
+        """
+        if frame == 0:
+            raise ValueError("frame 0 has no predecessor")
+        width, height = self._resolve(resolution)
+        prev_tiles, prev_rows = self.frame_pairs(frame - 1, (width, height), tile_size)
+        cur_tiles, cur_rows = self.frame_pairs(frame, (width, height), tile_size)
+        prev_geo = self.frames[frame - 1]
+        cur_geo = self.frames[frame]
+
+        diffs: list[np.ndarray] = []
+        cur_by_tile = _group_by_tile(cur_tiles, cur_rows)
+        prev_by_tile = _group_by_tile(prev_tiles, prev_rows)
+        for tile, prev_r in prev_by_tile.items():
+            cur_r = cur_by_tile.get(tile)
+            if cur_r is None:
+                continue
+            prev_ids = prev_geo.ids[prev_r]
+            cur_ids = cur_geo.ids[cur_r]
+            shared, prev_pos, cur_pos = np.intersect1d(
+                prev_ids, cur_ids, assume_unique=True, return_indices=True
+            )
+            if shared.shape[0] < 2:
+                continue
+            # Rank both frames within the *shared* population so membership
+            # churn does not masquerade as reordering; only genuine depth
+            # re-ordering among retained Gaussians contributes.
+            shared_prev_depths = prev_geo.depths[prev_r][prev_pos]
+            shared_cur_depths = cur_geo.depths[cur_r][cur_pos]
+            pct_prev = _depth_percentile(shared_prev_depths, shared_prev_depths)
+            pct_cur = _depth_percentile(shared_cur_depths, shared_cur_depths)
+            nominal_occ = cur_r.shape[0] * self.count_scale
+            diffs.append(np.abs(pct_cur - pct_prev) * nominal_occ)
+        if not diffs:
+            return np.empty(0)
+        return np.concatenate(diffs)
+
+
+def _depth_percentile(query: np.ndarray, population: np.ndarray) -> np.ndarray:
+    """Continuous ECDF percentile of ``query`` depths within ``population``."""
+    sorted_pop = np.sort(population)
+    n = sorted_pop.shape[0]
+    if n < 2:
+        return np.zeros_like(query)
+    return np.interp(query, sorted_pop, np.linspace(0.0, 1.0, n))
+
+
+def _group_by_tile(tiles: np.ndarray, rows: np.ndarray) -> dict[int, np.ndarray]:
+    """Split a pair list into per-tile row arrays."""
+    order = np.argsort(tiles, kind="stable")
+    tiles_sorted = tiles[order]
+    rows_sorted = rows[order]
+    out: dict[int, np.ndarray] = {}
+    if tiles_sorted.shape[0] == 0:
+        return out
+    boundaries = np.flatnonzero(np.diff(tiles_sorted)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [tiles_sorted.shape[0]]])
+    for s, e in zip(starts, ends):
+        out[int(tiles_sorted[s])] = rows_sorted[s:e]
+    return out

@@ -1,0 +1,108 @@
+"""Temporal-similarity analysis of Gaussian tables (paper Figs. 6-7).
+
+Given per-tile sorted ID lists from consecutive frames (functional pipeline)
+or a :class:`~repro.hw.workload.WorkloadModel` (paper-scale), compute:
+
+* the per-tile proportion of shared Gaussians between consecutive frames and
+  its CDF (Fig. 6);
+* the distribution of per-Gaussian sort-order displacement (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pipeline.sorting import SortedTiles
+
+
+@dataclass(frozen=True)
+class SimilarityStats:
+    """Temporal-similarity summary between two consecutive frames."""
+
+    shared_fractions: np.ndarray
+    order_differences: np.ndarray
+
+    def cdf(self, grid: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) — CDF of the per-tile shared fraction (Fig. 6)."""
+        if grid is None:
+            grid = np.linspace(0.5, 1.0, 101)
+        values = np.sort(self.shared_fractions)
+        cdf = np.searchsorted(values, grid, side="right") / max(values.shape[0], 1)
+        return grid, cdf
+
+    def fraction_of_tiles_retaining(self, threshold: float) -> float:
+        """Share of tiles keeping at least ``threshold`` of their Gaussians."""
+        if self.shared_fractions.size == 0:
+            return 0.0
+        return float(np.mean(self.shared_fractions >= threshold))
+
+    def order_percentiles(self, percentiles=(90, 95, 99)) -> dict[int, float]:
+        """Order-difference percentiles (Fig. 7's three bars)."""
+        if self.order_differences.size == 0:
+            return {int(p): 0.0 for p in percentiles}
+        values = np.percentile(self.order_differences, percentiles)
+        return {int(p): float(v) for p, v in zip(percentiles, values)}
+
+
+def tile_shared_fraction(prev_ids: np.ndarray, cur_ids: np.ndarray) -> float:
+    """Proportion of the previous frame's tile Gaussians still present."""
+    if prev_ids.shape[0] == 0:
+        return 1.0
+    return float(np.mean(np.isin(prev_ids, cur_ids)))
+
+
+def tile_order_differences(prev_ids: np.ndarray, cur_ids: np.ndarray) -> np.ndarray:
+    """Absolute sort-position shifts of Gaussians shared by both lists.
+
+    Both inputs must be depth-sorted ID lists; the displacement of a shared
+    Gaussian is the distance between its positions in the two lists,
+    restricted to the shared subset (membership churn excluded).
+    """
+    shared, prev_pos, cur_pos = np.intersect1d(
+        prev_ids, cur_ids, assume_unique=False, return_indices=True
+    )
+    if shared.shape[0] < 2:
+        return np.empty(0)
+    prev_rank = np.argsort(np.argsort(prev_pos, kind="stable"))
+    cur_rank = np.argsort(np.argsort(cur_pos, kind="stable"))
+    return np.abs(prev_rank - cur_rank).astype(np.float64)
+
+
+def frame_similarity(prev: SortedTiles, cur: SortedTiles) -> SimilarityStats:
+    """Similarity statistics between two consecutive functional frames."""
+    if prev.num_tiles != cur.num_tiles:
+        raise ValueError("frames must cover the same tile grid")
+    fractions = []
+    diffs = []
+    for tile in range(prev.num_tiles):
+        prev_ids = prev.tile_ids[tile]
+        if prev_ids.shape[0] == 0:
+            continue
+        cur_ids = cur.tile_ids[tile]
+        fractions.append(tile_shared_fraction(prev_ids, cur_ids))
+        d = tile_order_differences(prev_ids, cur_ids)
+        if d.size:
+            diffs.append(d)
+    return SimilarityStats(
+        shared_fractions=np.asarray(fractions),
+        order_differences=np.concatenate(diffs) if diffs else np.empty(0),
+    )
+
+
+def sequence_similarity(frames: list[SortedTiles]) -> SimilarityStats:
+    """Pool similarity statistics over every consecutive frame pair."""
+    if len(frames) < 2:
+        raise ValueError("need at least two frames")
+    fractions = []
+    diffs = []
+    for prev, cur in zip(frames, frames[1:]):
+        stats = frame_similarity(prev, cur)
+        fractions.append(stats.shared_fractions)
+        if stats.order_differences.size:
+            diffs.append(stats.order_differences)
+    return SimilarityStats(
+        shared_fractions=np.concatenate(fractions) if fractions else np.empty(0),
+        order_differences=np.concatenate(diffs) if diffs else np.empty(0),
+    )

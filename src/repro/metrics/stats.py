@@ -1,0 +1,54 @@
+"""Small statistics helpers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values (speedup aggregation).
+
+    >>> round(geometric_mean([1.0, 4.0]), 2)
+    2.0
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if (arr <= 0).any():
+        raise ValueError("geometric_mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def harmonic_mean(values) -> float:
+    """Harmonic mean (correct FPS averaging across equal-length runs)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("harmonic_mean of empty sequence")
+    if (arr <= 0).any():
+        raise ValueError("harmonic_mean requires positive values")
+    return float(arr.size / np.sum(1.0 / arr))
+
+
+def percentile_summary(values, percentiles=(50, 90, 95, 99)) -> dict[int, float]:
+    """Named percentiles of a sample."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return {int(p): 0.0 for p in percentiles}
+    out = np.percentile(arr, percentiles)
+    return {int(p): float(v) for p, v in zip(percentiles, out)}
+
+
+def empirical_cdf(values, grid) -> np.ndarray:
+    """F(x) evaluated on ``grid`` for the sample ``values``."""
+    arr = np.sort(np.asarray(list(values), dtype=np.float64))
+    grid = np.asarray(grid, dtype=np.float64)
+    if arr.size == 0:
+        return np.zeros_like(grid)
+    return np.searchsorted(arr, grid, side="right") / arr.size
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured - reference| / |reference| (0 when both are 0)."""
+    if reference == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return abs(measured - reference) / abs(reference)

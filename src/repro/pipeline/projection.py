@@ -1,0 +1,171 @@
+"""Feature extraction: project 3D Gaussians to screen space (pipeline stage 2).
+
+Implements the EWA splatting approximation used by 3DGS: each 3D Gaussian
+``(mu, Sigma)`` maps to a 2D Gaussian ``(mu', Sigma')`` on the image plane via
+the camera transform and the Jacobian of the perspective projection, and its
+view-dependent color is evaluated from spherical harmonics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..scene.camera import Camera
+from ..scene.gaussians import GaussianScene
+from ..scene.sh import eval_sh_color, normalize_directions
+
+#: 2D covariance regularizer, matching the 0.3 px dilation of reference 3DGS.
+COV2D_DILATION = 0.3
+
+#: Number of standard deviations covered by a splat's bounding radius.
+RADIUS_SIGMAS = 3.0
+
+
+@dataclass
+class ProjectedGaussians:
+    """Screen-space Gaussians produced by feature extraction.
+
+    All arrays are aligned: row ``i`` describes the same visible Gaussian.
+
+    Attributes
+    ----------
+    ids:
+        Indices into the source :class:`GaussianScene` (global Gaussian IDs).
+    means2d:
+        ``(m, 2)`` pixel-space centers.
+    cov2d:
+        ``(m, 2, 2)`` screen-space covariance matrices (dilated).
+    conic:
+        ``(m, 3)`` upper-triangular entries ``(a, b, c)`` of the inverse 2D
+        covariance, the form consumed by the rasterizer.
+    depths:
+        ``(m,)`` camera-space z used as the sort key.
+    radii:
+        ``(m,)`` conservative pixel radii (3 sigma of the major axis).
+    colors:
+        ``(m, 3)`` RGB colors from SH evaluation.
+    opacities:
+        ``(m,)`` opacity values.
+    """
+
+    ids: np.ndarray
+    means2d: np.ndarray
+    cov2d: np.ndarray
+    conic: np.ndarray
+    depths: np.ndarray
+    radii: np.ndarray
+    colors: np.ndarray
+    opacities: np.ndarray
+
+    def __len__(self) -> int:
+        return self.ids.shape[0]
+
+
+def compute_cov2d(
+    cam_points: np.ndarray,
+    cov3d: np.ndarray,
+    view_rot: np.ndarray,
+    camera: Camera,
+) -> np.ndarray:
+    """EWA projection of 3D covariances to screen space.
+
+    ``Sigma' = J W Sigma W^T J^T`` where ``W`` is the world-to-camera rotation
+    and ``J`` the local affine approximation (Jacobian) of the perspective
+    projection at each Gaussian center.
+    """
+    n = cam_points.shape[0]
+    x, y = cam_points[:, 0], cam_points[:, 1]
+    z = np.maximum(cam_points[:, 2], 1e-6)
+
+    # Clamp x/z, y/z to 1.3x the frustum tangent, as in reference 3DGS, to
+    # keep the linearization stable for Gaussians near the frustum edge.
+    lim_x = 1.3 * camera.tan_half_fov_x
+    lim_y = 1.3 * camera.tan_half_fov_y
+    tx = np.clip(x / z, -lim_x, lim_x) * z
+    ty = np.clip(y / z, -lim_y, lim_y) * z
+
+    jac = np.zeros((n, 2, 3))
+    jac[:, 0, 0] = camera.fx / z
+    jac[:, 0, 2] = -camera.fx * tx / (z * z)
+    jac[:, 1, 1] = camera.fy / z
+    jac[:, 1, 2] = -camera.fy * ty / (z * z)
+
+    world_cov = view_rot[None, :, :] @ cov3d @ view_rot.T[None, :, :]
+    cov2d = jac @ world_cov @ jac.transpose(0, 2, 1)
+    cov2d[:, 0, 0] += COV2D_DILATION
+    cov2d[:, 1, 1] += COV2D_DILATION
+    return cov2d
+
+
+def conic_from_cov2d(cov2d: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Invert 2D covariances to conic form and report validity.
+
+    Returns ``(conic, valid)`` where ``conic`` holds ``(a, b, c)`` such that
+    the splat falloff is ``exp(-0.5 (a dx^2 + 2 b dx dy + c dy^2))``, and
+    ``valid`` flags Gaussians with a positive-definite covariance.
+    """
+    a = cov2d[:, 0, 0]
+    b = cov2d[:, 0, 1]
+    c = cov2d[:, 1, 1]
+    det = a * c - b * b
+    valid = det > 1e-12
+    inv_det = np.where(valid, 1.0 / np.where(valid, det, 1.0), 0.0)
+    conic = np.stack([c * inv_det, -b * inv_det, a * inv_det], axis=1)
+    return conic, valid
+
+
+def splat_radii(cov2d: np.ndarray) -> np.ndarray:
+    """Conservative pixel radius (3 sigma of the major eigenvalue)."""
+    a = cov2d[:, 0, 0]
+    b = cov2d[:, 0, 1]
+    c = cov2d[:, 1, 1]
+    mid = 0.5 * (a + c)
+    disc = np.sqrt(np.maximum(mid * mid - (a * c - b * b), 0.0))
+    lambda_max = mid + disc
+    return np.ceil(RADIUS_SIGMAS * np.sqrt(np.maximum(lambda_max, 0.0)))
+
+
+def project_gaussians(
+    scene: GaussianScene,
+    camera: Camera,
+    visible_ids: np.ndarray | None = None,
+) -> ProjectedGaussians:
+    """Run feature extraction for the Gaussians visible from ``camera``.
+
+    Parameters
+    ----------
+    scene:
+        Source scene.
+    visible_ids:
+        Indices of Gaussians that survived frustum culling.  ``None`` means
+        project everything (culling is then implied by downstream radii).
+    """
+    if visible_ids is None:
+        visible_ids = np.arange(len(scene))
+    visible_ids = np.asarray(visible_ids, dtype=np.int64)
+
+    means = scene.means[visible_ids]
+    cam_points = camera.transform_points(means)
+    view_rot = camera.world_to_camera[:3, :3]
+
+    cov3d = scene.covariances()[visible_ids]
+    cov2d = compute_cov2d(cam_points, cov3d, view_rot, camera)
+    conic, valid = conic_from_cov2d(cov2d)
+    radii = splat_radii(cov2d)
+
+    directions = normalize_directions(means - camera.position[None, :])
+    colors = eval_sh_color(scene.sh_coeffs[visible_ids], directions)
+
+    keep = valid & (radii > 0) & (cam_points[:, 2] > camera.near)
+    return ProjectedGaussians(
+        ids=visible_ids[keep],
+        means2d=camera.project(cam_points)[keep],
+        cov2d=cov2d[keep],
+        conic=conic[keep],
+        depths=cam_points[:, 2][keep],
+        radii=radii[keep],
+        colors=colors[keep],
+        opacities=scene.opacities[visible_ids][keep],
+    )

@@ -1,0 +1,232 @@
+"""Tile-based alpha-blending rasterization (pipeline stage 4).
+
+Per tile, Gaussians are blended front-to-back in depth order; a pixel stops
+accumulating once its transmittance drops below the termination threshold.
+The rasterizer also models the two hardware-relevant behaviours of Neo's
+Rasterization Engine:
+
+* **Subtile intersection testing** (ITU): each tile is subdivided into
+  subtiles; a Gaussian is only blended into subtiles its bounding circle
+  overlaps, and the per-tile OR of those bitmaps doubles as the *valid bit*
+  that flags outgoing Gaussians for the next frame's deferred deletion.
+* **Blend-op accounting**: the number of (Gaussian, subtile) and
+  (Gaussian, pixel) operations feeds the hardware timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .framebuffer import Framebuffer
+from .projection import ProjectedGaussians
+from .sorting import SortedTiles
+from .tiling import TileGrid
+
+#: Contributions below 1/255 are invisible at 8-bit output and skipped,
+#: matching the reference CUDA rasterizer.
+MIN_ALPHA = 1.0 / 255.0
+
+#: Alpha ceiling (reference implementation clips at 0.99).
+MAX_ALPHA = 0.99
+
+#: A pixel is finalized once its transmittance falls below this.
+TERMINATION_THRESHOLD = 1e-4
+
+#: Subtile edge used by the Neo accelerator (Table 1).
+NEO_SUBTILE_SIZE = 8
+
+
+@dataclass
+class RasterStats:
+    """Workload counters accumulated over a frame.
+
+    Attributes
+    ----------
+    gaussians_processed:
+        Tile-Gaussian pairs walked by the blending loop.
+    blend_ops:
+        (Gaussian, pixel) alpha evaluations actually performed.
+    subtile_tests:
+        (Gaussian, subtile) intersection tests performed by the ITU model.
+    subtile_hits:
+        Tests that found an overlap (work routed to an SCU).
+    early_terminated_tiles:
+        Tiles whose blending loop exited before exhausting their list.
+    """
+
+    gaussians_processed: int = 0
+    blend_ops: int = 0
+    subtile_tests: int = 0
+    subtile_hits: int = 0
+    early_terminated_tiles: int = 0
+
+    def merge(self, other: "RasterStats") -> None:
+        """Accumulate another tile's counters into this frame total."""
+        self.gaussians_processed += other.gaussians_processed
+        self.blend_ops += other.blend_ops
+        self.subtile_tests += other.subtile_tests
+        self.subtile_hits += other.subtile_hits
+        self.early_terminated_tiles += other.early_terminated_tiles
+
+
+@dataclass
+class RasterResult:
+    """Frame output: image, per-tile valid bits, and workload counters.
+
+    ``valid_bits[t]`` aligns with the sorted row list of tile ``t`` and is
+    ``True`` where the Gaussian intersected at least one subtile — the signal
+    Neo's ITU feeds back to the Sorting Engine for lazy deletion.
+    """
+
+    image: np.ndarray
+    valid_bits: dict[int, np.ndarray] = field(default_factory=dict)
+    stats: RasterStats = field(default_factory=RasterStats)
+
+
+def _subtile_bitmap(
+    cx: float, cy: float, radius: float, x0: int, y0: int, x1: int, y1: int, subtile: int
+) -> np.ndarray:
+    """Conservative circle-vs-rectangle intersection bitmap over subtiles."""
+    sxs = np.arange(x0, x1, subtile)
+    sys = np.arange(y0, y1, subtile)
+    # Clamp the center to each subtile rect; overlap iff the clamped point is
+    # within `radius` of the center.
+    qx = np.clip(cx, sxs, np.minimum(sxs + subtile, x1))
+    qy = np.clip(cy, sys, np.minimum(sys + subtile, y1))
+    dx = (qx - cx)[None, :]
+    dy = (qy - cy)[:, None]
+    return dx * dx + dy * dy <= radius * radius
+
+
+def rasterize_tile(
+    framebuffer: Framebuffer,
+    projected: ProjectedGaussians,
+    rows: np.ndarray,
+    bounds: tuple[int, int, int, int],
+    subtile_size: int | None = NEO_SUBTILE_SIZE,
+    termination: float = TERMINATION_THRESHOLD,
+) -> tuple[np.ndarray, RasterStats]:
+    """Blend one tile's sorted Gaussians into the framebuffer.
+
+    Parameters
+    ----------
+    rows:
+        Row indices into ``projected``, already depth-sorted front-to-back.
+    bounds:
+        Tile pixel rectangle ``(x0, y0, x1, y1)``, exclusive upper.
+    subtile_size:
+        Edge of the ITU subtiles; ``None`` disables subtiling (pure per-pixel
+        evaluation over the whole tile).
+
+    Returns
+    -------
+    ``(valid_bits, stats)`` where ``valid_bits[i]`` is True if Gaussian
+    ``rows[i]`` touched any subtile of this tile.
+    """
+    x0, y0, x1, y1 = bounds
+    stats = RasterStats()
+    n = rows.shape[0]
+    if n == 0 or x0 >= x1 or y0 >= y1:
+        return np.zeros(n, dtype=bool), stats
+
+    px = np.arange(x0, x1) + 0.5
+    py = np.arange(y0, y1) + 0.5
+    trans = framebuffer.transmittance[y0:y1, x0:x1]
+    color = framebuffer.color[y0:y1, x0:x1]
+
+    means = projected.means2d[rows]
+    conics = projected.conic[rows]
+    radii = projected.radii[rows]
+    opacities = projected.opacities[rows]
+    colors = projected.colors[rows]
+
+    sub = subtile_size
+    # Valid bits are *geometric*: the ITU runs intersection tests for the
+    # whole list (it is pipelined ahead of the SCUs and cheap), regardless
+    # of whether blending terminates early, so a Gaussian's membership in
+    # the tile is judged independently of its visual contribution.
+    if sub is not None:
+        valid = np.zeros(n, dtype=bool)
+        subtile_hits = np.zeros(n, dtype=np.int64)
+        for i in range(n):
+            bitmap = _subtile_bitmap(means[i, 0], means[i, 1], radii[i], x0, y0, x1, y1, sub)
+            stats.subtile_tests += bitmap.size
+            subtile_hits[i] = int(np.count_nonzero(bitmap))
+            valid[i] = subtile_hits[i] > 0
+        stats.subtile_hits += int(subtile_hits.sum())
+    else:
+        # No subtiling: test the splat's bounding circle against the tile.
+        qx = np.clip(means[:, 0], x0, x1)
+        qy = np.clip(means[:, 1], y0, y1)
+        dist2 = (qx - means[:, 0]) ** 2 + (qy - means[:, 1]) ** 2
+        valid = dist2 <= radii**2
+        subtile_hits = valid.astype(np.int64)
+
+    for i in range(n):
+        if trans.max() < termination:
+            stats.early_terminated_tiles += 1
+            break
+        if not valid[i]:
+            continue
+        stats.gaussians_processed += 1
+        cx, cy = means[i]
+        r = radii[i]
+        # Restrict evaluation to the splat's pixel bbox within the tile.
+        gx0 = max(int(np.floor(cx - r)) - x0, 0)
+        gx1 = min(int(np.ceil(cx + r)) - x0 + 1, x1 - x0)
+        gy0 = max(int(np.floor(cy - r)) - y0, 0)
+        gy1 = min(int(np.ceil(cy + r)) - y0 + 1, y1 - y0)
+        if gx0 >= gx1 or gy0 >= gy1:
+            continue
+
+        dx = px[gx0:gx1] - cx
+        dy = py[gy0:gy1] - cy
+        a, b, c = conics[i]
+        power = -0.5 * (
+            a * dx[None, :] ** 2 + c * dy[:, None] ** 2
+        ) - b * dy[:, None] * dx[None, :]
+        stats.blend_ops += power.size
+        alpha = np.minimum(opacities[i] * np.exp(np.minimum(power, 0.0)), MAX_ALPHA)
+        alpha[power > 0] = 0.0
+        significant = alpha >= MIN_ALPHA
+        if not significant.any():
+            continue
+        alpha = np.where(significant, alpha, 0.0)
+
+        t_block = trans[gy0:gy1, gx0:gx1]
+        weight = t_block * alpha
+        color[gy0:gy1, gx0:gx1] += weight[..., None] * colors[i][None, None, :]
+        trans[gy0:gy1, gx0:gx1] = t_block * (1.0 - alpha)
+
+    return valid, stats
+
+
+def rasterize(
+    sorted_tiles: SortedTiles,
+    projected: ProjectedGaussians,
+    grid: TileGrid,
+    background: tuple[float, float, float] = (0.0, 0.0, 0.0),
+    subtile_size: int | None = NEO_SUBTILE_SIZE,
+    termination: float = TERMINATION_THRESHOLD,
+) -> RasterResult:
+    """Rasterize a full frame from per-tile sorted Gaussian lists."""
+    framebuffer = Framebuffer(width=grid.width, height=grid.height, background=background)
+    result = RasterResult(image=np.empty(0))
+    for tile in range(grid.num_tiles):
+        rows = sorted_tiles.tile_rows[tile]
+        if rows.shape[0] == 0:
+            continue
+        valid, stats = rasterize_tile(
+            framebuffer,
+            projected,
+            rows,
+            grid.tile_pixel_bounds(tile),
+            subtile_size=subtile_size,
+            termination=termination,
+        )
+        result.valid_bits[tile] = valid
+        result.stats.merge(stats)
+    result.image = framebuffer.finalize()
+    return result

@@ -1,0 +1,177 @@
+"""End-to-end 3DGS renderer: culling -> features -> sorting -> rasterization.
+
+The sorting stage is pluggable so Neo's reuse-and-update strategies (and the
+periodic / background / hierarchical baselines in :mod:`repro.core`) can be
+swapped in without touching the rest of the pipeline.  Each rendered frame
+also yields a :class:`FrameStats` workload snapshot consumed by the hardware
+performance models in :mod:`repro.hw`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..scene.camera import Camera
+from ..scene.gaussians import GaussianScene
+from .culling import CullingResult, frustum_cull
+from .projection import ProjectedGaussians, project_gaussians
+from .rasterizer import NEO_SUBTILE_SIZE, RasterResult, rasterize
+from .sorting import SortedTiles, sort_tiles
+from .tiling import GPU_TILE_SIZE, TileAssignment, TileGrid, assign_to_tiles
+
+
+@runtime_checkable
+class SortStrategy(Protocol):
+    """Interface for pluggable sorting-stage implementations.
+
+    A strategy sees each frame's tile assignment and returns depth-sorted
+    per-tile lists; stateful strategies (Neo) also receive rasterization
+    feedback (valid bits / refreshed depths) afterwards.
+    """
+
+    def sort_frame(self, assignment: TileAssignment, frame_index: int) -> SortedTiles:
+        """Produce per-tile orderings for this frame."""
+        ...
+
+    def observe_raster(
+        self, frame_index: int, sorted_tiles: SortedTiles, raster: RasterResult
+    ) -> None:
+        """Receive post-rasterization feedback (may be a no-op)."""
+        ...
+
+
+class ExactSortStrategy:
+    """Baseline: re-sort every tile from scratch each frame (reference 3DGS)."""
+
+    name = "exact"
+
+    def sort_frame(self, assignment: TileAssignment, frame_index: int) -> SortedTiles:
+        return sort_tiles(assignment)
+
+    def observe_raster(
+        self, frame_index: int, sorted_tiles: SortedTiles, raster: RasterResult
+    ) -> None:
+        return None
+
+
+@dataclass
+class FrameStats:
+    """Per-frame workload statistics for the hardware models.
+
+    Attributes
+    ----------
+    frame_index:
+        Position in the rendered sequence.
+    num_gaussians:
+        Scene size before culling.
+    num_visible:
+        Gaussians surviving culling and projection validity checks.
+    num_pairs:
+        Tile-Gaussian pairs after duplication (the sorting workload).
+    occupancy:
+        Per-tile Gaussian counts.
+    blend_ops / subtile_tests / subtile_hits / gaussians_processed:
+        Rasterization counters (see :class:`RasterStats`).
+    """
+
+    frame_index: int
+    num_gaussians: int
+    num_visible: int
+    num_pairs: int
+    occupancy: np.ndarray
+    blend_ops: int
+    subtile_tests: int
+    subtile_hits: int
+    gaussians_processed: int
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Mean Gaussians per nonempty tile."""
+        nonzero = self.occupancy[self.occupancy > 0]
+        return float(nonzero.mean()) if nonzero.size else 0.0
+
+
+@dataclass
+class FrameRecord:
+    """Everything produced while rendering one frame."""
+
+    camera: Camera
+    culling: CullingResult
+    projected: ProjectedGaussians
+    assignment: TileAssignment
+    sorted_tiles: SortedTiles
+    raster: RasterResult
+    stats: FrameStats
+
+    @property
+    def image(self) -> np.ndarray:
+        """The rendered RGB image."""
+        return self.raster.image
+
+
+@dataclass
+class Renderer:
+    """Configured 3DGS rendering pipeline for one scene.
+
+    Parameters
+    ----------
+    scene:
+        The Gaussian scene to render.
+    tile_size:
+        Tile edge in pixels (16 for GPU-style, 64 for Neo's accelerator).
+    subtile_size:
+        ITU subtile edge; ``None`` disables subtile testing.
+    background:
+        RGB background composited under the splats.
+    strategy:
+        Sorting strategy; defaults to exact per-frame sorting.
+    """
+
+    scene: GaussianScene
+    tile_size: int = GPU_TILE_SIZE
+    subtile_size: int | None = NEO_SUBTILE_SIZE
+    background: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    strategy: SortStrategy = field(default_factory=ExactSortStrategy)
+
+    def render(self, camera: Camera, frame_index: int = 0) -> FrameRecord:
+        """Render one frame and return the full record."""
+        culling = frustum_cull(self.scene, camera)
+        projected = project_gaussians(self.scene, camera, culling.visible_ids)
+        grid = TileGrid.for_camera(camera, self.tile_size)
+        assignment = assign_to_tiles(projected, grid)
+        sorted_tiles = self.strategy.sort_frame(assignment, frame_index)
+        raster = rasterize(
+            sorted_tiles,
+            projected,
+            grid,
+            background=self.background,
+            subtile_size=self.subtile_size,
+        )
+        self.strategy.observe_raster(frame_index, sorted_tiles, raster)
+        stats = FrameStats(
+            frame_index=frame_index,
+            num_gaussians=len(self.scene),
+            num_visible=len(projected),
+            num_pairs=assignment.num_pairs,
+            occupancy=assignment.occupancy(),
+            blend_ops=raster.stats.blend_ops,
+            subtile_tests=raster.stats.subtile_tests,
+            subtile_hits=raster.stats.subtile_hits,
+            gaussians_processed=raster.stats.gaussians_processed,
+        )
+        return FrameRecord(
+            camera=camera,
+            culling=culling,
+            projected=projected,
+            assignment=assignment,
+            sorted_tiles=sorted_tiles,
+            raster=raster,
+            stats=stats,
+        )
+
+    def render_sequence(self, cameras: list[Camera]) -> list[FrameRecord]:
+        """Render a camera trajectory, threading frame indices through."""
+        return [self.render(camera, frame_index=i) for i, camera in enumerate(cameras)]

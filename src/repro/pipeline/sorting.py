@@ -1,0 +1,138 @@
+"""Reference sorting stage (pipeline stage 3).
+
+This module provides the *functional* ground truth: exact per-tile depth
+ordering computed with numpy's sort.  Neo's reuse-and-update strategies in
+:mod:`repro.core` are validated against it, and the quality experiments
+(Table 2, Fig. 19) compare images rendered with approximate orders against
+images rendered with this exact order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .tiling import TileAssignment
+
+
+@dataclass
+class SortedTiles:
+    """Depth-sorted per-tile Gaussian lists.
+
+    Attributes
+    ----------
+    tile_rows:
+        Entry ``t`` holds row indices into the frame's
+        :class:`ProjectedGaussians`, sorted front-to-back by depth.
+    tile_ids:
+        Entry ``t`` holds the matching global Gaussian IDs (same order).
+    tile_depths:
+        Entry ``t`` holds the matching depths (non-decreasing).
+    """
+
+    tile_rows: list[np.ndarray]
+    tile_ids: list[np.ndarray]
+    tile_depths: list[np.ndarray]
+
+    @property
+    def num_tiles(self) -> int:
+        """Number of tiles covered."""
+        return len(self.tile_rows)
+
+    @property
+    def num_pairs(self) -> int:
+        """Total tile-Gaussian pairs in the sorted tables."""
+        return int(sum(ids.shape[0] for ids in self.tile_ids))
+
+
+def sort_tiles(assignment: TileAssignment) -> SortedTiles:
+    """Exactly sort every tile's Gaussians front-to-back by depth.
+
+    Ties break on global Gaussian ID so the order is deterministic, mirroring
+    the stable key construction (depth | ID) of the CUDA radix sort.
+    """
+    tile_rows: list[np.ndarray] = []
+    tile_ids: list[np.ndarray] = []
+    tile_depths: list[np.ndarray] = []
+    proj = assignment.projected
+    for rows in assignment.tile_rows:
+        depths = proj.depths[rows]
+        ids = proj.ids[rows]
+        order = np.lexsort((ids, depths))
+        tile_rows.append(rows[order])
+        tile_ids.append(ids[order])
+        tile_depths.append(depths[order])
+    return SortedTiles(tile_rows=tile_rows, tile_ids=tile_ids, tile_depths=tile_depths)
+
+
+def is_depth_sorted(depths: np.ndarray, tolerance: float = 0.0) -> bool:
+    """True if ``depths`` is non-decreasing (within ``tolerance``)."""
+    if depths.shape[0] < 2:
+        return True
+    return bool(np.all(np.diff(depths) >= -tolerance))
+
+
+def order_quality(approx_depths: np.ndarray) -> float:
+    """Fraction of adjacent pairs already in non-decreasing depth order.
+
+    1.0 means perfectly sorted; used to quantify how far an incremental
+    ordering has drifted from the exact one.
+    """
+    n = approx_depths.shape[0]
+    if n < 2:
+        return 1.0
+    good = int(np.count_nonzero(np.diff(approx_depths) >= 0))
+    return good / (n - 1)
+
+
+def kendall_tau_distance(order_a: np.ndarray, order_b: np.ndarray) -> float:
+    """Normalized Kendall-tau distance between two orderings of the same set.
+
+    0.0 means identical order, 1.0 fully reversed.  Computed via merge-sort
+    inversion counting in O(n log n); both inputs must be permutations of the
+    same ID set.
+    """
+    order_a = np.asarray(order_a)
+    order_b = np.asarray(order_b)
+    if order_a.shape != order_b.shape:
+        raise ValueError("orderings must have equal length")
+    n = order_a.shape[0]
+    if n < 2:
+        return 0.0
+    if not np.array_equal(np.sort(order_a), np.sort(order_b)):
+        raise ValueError("orderings must contain the same IDs")
+
+    rank_in_b = {int(g): i for i, g in enumerate(order_b)}
+    sequence = np.fromiter((rank_in_b[int(g)] for g in order_a), dtype=np.int64, count=n)
+    inversions = _count_inversions(sequence)
+    return inversions / (n * (n - 1) / 2)
+
+
+def _count_inversions(seq: np.ndarray) -> int:
+    """Count inversions with an iterative bottom-up merge sort."""
+    seq = seq.copy()
+    buffer = np.empty_like(seq)
+    n = seq.shape[0]
+    inversions = 0
+    width = 1
+    while width < n:
+        for lo in range(0, n, 2 * width):
+            mid = min(lo + width, n)
+            hi = min(lo + 2 * width, n)
+            i, j, k = lo, mid, lo
+            while i < mid and j < hi:
+                if seq[i] <= seq[j]:
+                    buffer[k] = seq[i]
+                    i += 1
+                else:
+                    buffer[k] = seq[j]
+                    inversions += mid - i
+                    j += 1
+                k += 1
+            buffer[k : k + mid - i] = seq[i:mid]
+            k += mid - i
+            buffer[k : k + hi - j] = seq[j:hi]
+            seq[lo:hi] = buffer[lo:hi]
+        width *= 2
+    return inversions

@@ -1,0 +1,193 @@
+"""Tile binning and Gaussian duplication (front half of the sorting stage).
+
+3DGS subdivides the image into square tiles and duplicates every projected
+Gaussian into each tile its bounding box overlaps (paper section 2.4).  The
+per-tile (Gaussian ID, depth) lists produced here are the input to all
+sorting strategies, and the tile-Gaussian *pair count* is the quantity that
+drives the sorting stage's DRAM traffic in the hardware model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..scene.camera import Camera
+from .projection import ProjectedGaussians
+
+#: Tile edge used by the Neo accelerator configuration (Table 1).
+NEO_TILE_SIZE = 64
+
+#: Tile edge used by the reference CUDA 3DGS rasterizer.
+GPU_TILE_SIZE = 16
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """Rectangular grid of square tiles covering the image plane."""
+
+    width: int
+    height: int
+    tile_size: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("image dimensions must be positive")
+        if self.tile_size <= 0:
+            raise ValueError("tile_size must be positive")
+
+    @property
+    def tiles_x(self) -> int:
+        """Number of tile columns."""
+        return -(-self.width // self.tile_size)
+
+    @property
+    def tiles_y(self) -> int:
+        """Number of tile rows."""
+        return -(-self.height // self.tile_size)
+
+    @property
+    def num_tiles(self) -> int:
+        """Total tile count."""
+        return self.tiles_x * self.tiles_y
+
+    def tile_index(self, tx: int, ty: int) -> int:
+        """Flatten a (column, row) tile coordinate."""
+        if not (0 <= tx < self.tiles_x and 0 <= ty < self.tiles_y):
+            raise IndexError(f"tile ({tx}, {ty}) outside {self.tiles_x}x{self.tiles_y} grid")
+        return ty * self.tiles_x + tx
+
+    def tile_coords(self, index: int) -> tuple[int, int]:
+        """Inverse of :meth:`tile_index`."""
+        if not 0 <= index < self.num_tiles:
+            raise IndexError(f"tile index {index} outside grid of {self.num_tiles}")
+        return index % self.tiles_x, index // self.tiles_x
+
+    def tile_pixel_bounds(self, index: int) -> tuple[int, int, int, int]:
+        """Pixel rectangle ``(x0, y0, x1, y1)`` of a tile, exclusive upper."""
+        tx, ty = self.tile_coords(index)
+        x0 = tx * self.tile_size
+        y0 = ty * self.tile_size
+        return x0, y0, min(x0 + self.tile_size, self.width), min(y0 + self.tile_size, self.height)
+
+    @staticmethod
+    def for_camera(camera: Camera, tile_size: int = GPU_TILE_SIZE) -> "TileGrid":
+        """Grid covering ``camera``'s image at the given tile size."""
+        return TileGrid(width=camera.width, height=camera.height, tile_size=tile_size)
+
+
+@dataclass
+class TileAssignment:
+    """Per-tile Gaussian lists produced by duplication.
+
+    Attributes
+    ----------
+    grid:
+        The tile grid the assignment refers to.
+    tile_rows:
+        List of length ``grid.num_tiles``; entry ``t`` holds row indices into
+        the :class:`ProjectedGaussians` arrays for Gaussians overlapping tile
+        ``t`` (in projection order, *unsorted* by depth).
+    projected:
+        The projected Gaussians the rows refer to.
+    """
+
+    grid: TileGrid
+    tile_rows: list[np.ndarray]
+    projected: ProjectedGaussians
+
+    @property
+    def num_pairs(self) -> int:
+        """Total tile-Gaussian pairs (duplication count), the key workload stat."""
+        return int(sum(rows.shape[0] for rows in self.tile_rows))
+
+    def tile_ids(self, tile: int) -> np.ndarray:
+        """Global Gaussian IDs assigned to ``tile``."""
+        return self.projected.ids[self.tile_rows[tile]]
+
+    def tile_depths(self, tile: int) -> np.ndarray:
+        """Depths of the Gaussians assigned to ``tile``."""
+        return self.projected.depths[self.tile_rows[tile]]
+
+    def occupancy(self) -> np.ndarray:
+        """Per-tile Gaussian counts, shape ``(num_tiles,)``."""
+        return np.array([rows.shape[0] for rows in self.tile_rows], dtype=np.int64)
+
+    def nonempty_tiles(self) -> np.ndarray:
+        """Indices of tiles with at least one Gaussian."""
+        return np.flatnonzero(self.occupancy() > 0)
+
+
+def tile_ranges(
+    projected: ProjectedGaussians, grid: TileGrid
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Inclusive tile-coordinate bounding boxes for every projected Gaussian.
+
+    Returns ``(tx0, tx1, ty0, ty1)`` clipped to the grid; a Gaussian fully
+    outside the image yields an empty range (``tx1 < tx0``).
+    """
+    x = projected.means2d[:, 0]
+    y = projected.means2d[:, 1]
+    r = projected.radii
+    ts = grid.tile_size
+    tx0 = np.floor((x - r) / ts).astype(np.int64)
+    tx1 = np.floor((x + r) / ts).astype(np.int64)
+    ty0 = np.floor((y - r) / ts).astype(np.int64)
+    ty1 = np.floor((y + r) / ts).astype(np.int64)
+    np.clip(tx0, 0, grid.tiles_x - 1, out=tx0)
+    np.clip(ty0, 0, grid.tiles_y - 1, out=ty0)
+    # Upper bounds clip to -1 below zero so off-screen splats produce empty
+    # ranges instead of wrapping into tile 0.
+    np.clip(tx1, -1, grid.tiles_x - 1, out=tx1)
+    np.clip(ty1, -1, grid.tiles_y - 1, out=ty1)
+    off = (x + r < 0) | (y + r < 0) | (x - r >= grid.width) | (y - r >= grid.height)
+    tx1[off] = tx0[off] - 1
+    return tx0, tx1, ty0, ty1
+
+
+def assign_to_tiles(projected: ProjectedGaussians, grid: TileGrid) -> TileAssignment:
+    """Duplicate projected Gaussians into every tile their bbox overlaps."""
+    m = len(projected)
+    if m == 0:
+        empty = [np.empty(0, dtype=np.int64) for _ in range(grid.num_tiles)]
+        return TileAssignment(grid=grid, tile_rows=empty, projected=projected)
+
+    tx0, tx1, ty0, ty1 = tile_ranges(projected, grid)
+    nx = np.maximum(tx1 - tx0 + 1, 0)
+    ny = np.maximum(ty1 - ty0 + 1, 0)
+    counts = nx * ny
+    total = int(counts.sum())
+
+    rows = np.repeat(np.arange(m, dtype=np.int64), counts)
+    # Per-pair offset within each Gaussian's tile rectangle.
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    local = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    nx_rep = np.repeat(np.maximum(nx, 1), counts)
+    dx = local % nx_rep
+    dy = local // nx_rep
+    tiles = (np.repeat(ty0, counts) + dy) * grid.tiles_x + np.repeat(tx0, counts) + dx
+
+    # Refine the bbox expansion with an exact circle-vs-tile-rectangle test.
+    # This matches the Rasterization Engine's ITU geometry (a circle overlaps
+    # a tile iff it overlaps one of the subtiles partitioning it), so a
+    # Gaussian assigned here is never immediately invalidated by the ITU.
+    tile_x = (tiles % grid.tiles_x) * grid.tile_size
+    tile_y = (tiles // grid.tiles_x) * grid.tile_size
+    cx = projected.means2d[rows, 0]
+    cy = projected.means2d[rows, 1]
+    r = projected.radii[rows]
+    qx = np.clip(cx, tile_x, np.minimum(tile_x + grid.tile_size, grid.width))
+    qy = np.clip(cy, tile_y, np.minimum(tile_y + grid.tile_size, grid.height))
+    overlap = (qx - cx) ** 2 + (qy - cy) ** 2 <= r * r
+    tiles = tiles[overlap]
+    rows = rows[overlap]
+
+    order = np.argsort(tiles, kind="stable")
+    tiles_sorted = tiles[order]
+    rows_sorted = rows[order]
+    boundaries = np.searchsorted(tiles_sorted, np.arange(grid.num_tiles + 1))
+    tile_rows = [
+        rows_sorted[boundaries[t] : boundaries[t + 1]] for t in range(grid.num_tiles)
+    ]
+    return TileAssignment(grid=grid, tile_rows=tile_rows, projected=projected)

@@ -1,0 +1,62 @@
+"""Scene substrate: Gaussians, cameras, trajectories, and synthetic datasets."""
+
+from .camera import Camera, RESOLUTIONS, look_at, resolution
+from .datasets import (
+    MILL19,
+    SCENE_SPECS,
+    TANKS_AND_TEMPLES,
+    default_trajectory,
+    load_scene,
+    scene_spec,
+)
+from .io import FORMAT_VERSION, load_scene_file, save_scene
+from .gaussians import (
+    FEATURE_TABLE_ENTRY_BYTES,
+    GaussianScene,
+    build_covariances,
+    quaternions_to_rotations,
+)
+from .sh import eval_sh_color, normalize_directions, num_sh_coeffs, rgb_to_sh_dc, sh_basis
+from .synthetic import ClusterSpec, SceneSpec, generate_scene
+from .trajectory import (
+    TrajectoryConfig,
+    dolly_trajectory,
+    flythrough_trajectory,
+    iter_frame_pairs,
+    orbit_trajectory,
+    pan_trajectory,
+)
+
+__all__ = [
+    "Camera",
+    "FORMAT_VERSION",
+    "load_scene_file",
+    "save_scene",
+    "ClusterSpec",
+    "FEATURE_TABLE_ENTRY_BYTES",
+    "GaussianScene",
+    "MILL19",
+    "RESOLUTIONS",
+    "SCENE_SPECS",
+    "SceneSpec",
+    "TANKS_AND_TEMPLES",
+    "TrajectoryConfig",
+    "build_covariances",
+    "default_trajectory",
+    "dolly_trajectory",
+    "eval_sh_color",
+    "flythrough_trajectory",
+    "generate_scene",
+    "iter_frame_pairs",
+    "load_scene",
+    "look_at",
+    "normalize_directions",
+    "num_sh_coeffs",
+    "orbit_trajectory",
+    "pan_trajectory",
+    "quaternions_to_rotations",
+    "resolution",
+    "rgb_to_sh_dc",
+    "scene_spec",
+    "sh_basis",
+]

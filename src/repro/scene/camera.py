@@ -1,0 +1,181 @@
+"""Pinhole camera model used by the 3DGS pipeline.
+
+The renderer needs, per frame: a world-to-camera rigid transform, pinhole
+intrinsics, and the image resolution.  Resolutions referenced throughout the
+paper (HD / FHD / QHD / UHD) are provided as named presets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+#: Named resolutions from the paper (section 3.1 and 6.1).
+RESOLUTIONS: dict[str, tuple[int, int]] = {
+    "hd": (1280, 720),
+    "fhd": (1920, 1080),
+    "qhd": (2560, 1440),
+    "uhd": (3840, 2160),
+}
+
+
+def resolution(name: str) -> tuple[int, int]:
+    """Look up a named resolution, case-insensitively.
+
+    >>> resolution("QHD")
+    (2560, 1440)
+    """
+    key = name.lower()
+    if key not in RESOLUTIONS:
+        raise KeyError(f"unknown resolution {name!r}; options: {sorted(RESOLUTIONS)}")
+    return RESOLUTIONS[key]
+
+
+def look_at(eye: np.ndarray, target: np.ndarray, up: np.ndarray | None = None) -> np.ndarray:
+    """Build a world-to-camera rotation/translation from a look-at spec.
+
+    Returns a ``(4, 4)`` matrix mapping world homogeneous points to camera
+    space with +z pointing into the scene (OpenCV convention).
+    """
+    eye = np.asarray(eye, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if up is None:
+        up = np.array([0.0, 1.0, 0.0])
+    up = np.asarray(up, dtype=np.float64)
+
+    forward = target - eye
+    norm = np.linalg.norm(forward)
+    if norm < 1e-12:
+        raise ValueError("eye and target coincide")
+    forward = forward / norm
+    right = np.cross(forward, up)
+    rnorm = np.linalg.norm(right)
+    if rnorm < 1e-9:
+        # up parallel to forward: pick an arbitrary perpendicular axis.
+        alt = np.array([1.0, 0.0, 0.0]) if abs(forward[0]) < 0.9 else np.array([0.0, 0.0, 1.0])
+        right = np.cross(forward, alt)
+        rnorm = np.linalg.norm(right)
+    right = right / rnorm
+    true_up = np.cross(right, forward)
+
+    rot = np.stack([right, -true_up, forward])  # rows: camera x, y, z axes
+    mat = np.eye(4)
+    mat[:3, :3] = rot
+    mat[:3, 3] = -rot @ eye
+    return mat
+
+
+@dataclass(frozen=True)
+class Camera:
+    """Pinhole camera with OpenCV-style conventions (+z forward).
+
+    Parameters
+    ----------
+    width, height:
+        Image resolution in pixels.
+    fx, fy:
+        Focal lengths in pixels.
+    world_to_camera:
+        ``(4, 4)`` rigid transform from world to camera coordinates.
+    near, far:
+        Clip plane depths used by frustum culling.
+    """
+
+    width: int
+    height: int
+    fx: float
+    fy: float
+    world_to_camera: np.ndarray
+    near: float = 0.1
+    far: float = 1000.0
+
+    def __post_init__(self) -> None:
+        mat = np.asarray(self.world_to_camera, dtype=np.float64)
+        if mat.shape != (4, 4):
+            raise ValueError(f"world_to_camera must be (4, 4), got {mat.shape}")
+        object.__setattr__(self, "world_to_camera", mat)
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("resolution must be positive")
+        if self.fx <= 0 or self.fy <= 0:
+            raise ValueError("focal lengths must be positive")
+        if not 0 < self.near < self.far:
+            raise ValueError("need 0 < near < far")
+
+    @property
+    def cx(self) -> float:
+        """Principal point x (image center)."""
+        return self.width / 2.0
+
+    @property
+    def cy(self) -> float:
+        """Principal point y (image center)."""
+        return self.height / 2.0
+
+    @property
+    def position(self) -> np.ndarray:
+        """Camera center in world coordinates."""
+        rot = self.world_to_camera[:3, :3]
+        trans = self.world_to_camera[:3, 3]
+        return -rot.T @ trans
+
+    @property
+    def tan_half_fov_x(self) -> float:
+        """Tangent of the half horizontal field of view."""
+        return self.width / (2.0 * self.fx)
+
+    @property
+    def tan_half_fov_y(self) -> float:
+        """Tangent of the half vertical field of view."""
+        return self.height / (2.0 * self.fy)
+
+    def transform_points(self, points: np.ndarray) -> np.ndarray:
+        """Map world-space points ``(n, 3)`` into camera space."""
+        points = np.asarray(points, dtype=np.float64)
+        rot = self.world_to_camera[:3, :3]
+        trans = self.world_to_camera[:3, 3]
+        return points @ rot.T + trans
+
+    def project(self, cam_points: np.ndarray) -> np.ndarray:
+        """Project camera-space points to pixel coordinates ``(n, 2)``.
+
+        Depths at or behind the camera are clamped to a small epsilon so the
+        caller (frustum culling) can still reason about off-screen positions.
+        """
+        cam_points = np.asarray(cam_points, dtype=np.float64)
+        z = np.maximum(cam_points[:, 2], 1e-9)
+        u = self.fx * cam_points[:, 0] / z + self.cx
+        v = self.fy * cam_points[:, 1] / z + self.cy
+        return np.stack([u, v], axis=1)
+
+    def with_resolution(self, width: int, height: int) -> "Camera":
+        """Return a camera at a new resolution with the same field of view."""
+        scale_x = width / self.width
+        scale_y = height / self.height
+        return replace(self, width=width, height=height, fx=self.fx * scale_x, fy=self.fy * scale_y)
+
+    @staticmethod
+    def from_fov(
+        width: int,
+        height: int,
+        fov_y_degrees: float,
+        world_to_camera: np.ndarray | None = None,
+        near: float = 0.1,
+        far: float = 1000.0,
+    ) -> "Camera":
+        """Construct a camera from a vertical field of view in degrees."""
+        if not 0 < fov_y_degrees < 180:
+            raise ValueError("fov_y_degrees must be in (0, 180)")
+        fy = height / (2.0 * np.tan(np.radians(fov_y_degrees) / 2.0))
+        fx = fy  # square pixels
+        if world_to_camera is None:
+            world_to_camera = np.eye(4)
+        return Camera(
+            width=width,
+            height=height,
+            fx=fx,
+            fy=fy,
+            world_to_camera=world_to_camera,
+            near=near,
+            far=far,
+        )

@@ -1,0 +1,171 @@
+"""Container for a 3D Gaussian Splatting scene.
+
+A scene is a set of anisotropic 3D Gaussians, each defined by (paper Fig. 2a):
+
+* position: 3D mean ``mu``
+* shape: 3D covariance ``Sigma``, factored as rotation ``q`` (unit quaternion)
+  and per-axis scales ``s`` so that ``Sigma = R diag(s)^2 R^T``
+* opacity ``o`` in (0, 1]
+* color: spherical-harmonics coefficients ``sh`` of shape ``(k, 3)``
+
+All attributes are stored as structure-of-arrays numpy buffers, mirroring how
+a real renderer (and the Neo feature table) lays the data out in DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .sh import num_sh_coeffs
+
+#: Bytes per Gaussian in the off-chip feature table (position 12 + rotation 16
+#: + scale 12 + opacity 4 + degree-3 SH 16*3*4 = 236, rounded to 240 for
+#: alignment).  Used by the hardware traffic model.
+FEATURE_TABLE_ENTRY_BYTES = 240
+
+
+def quaternions_to_rotations(quats: np.ndarray) -> np.ndarray:
+    """Convert unit quaternions ``(n, 4)`` (w, x, y, z) to rotation matrices ``(n, 3, 3)``."""
+    quats = np.asarray(quats, dtype=np.float64)
+    if quats.ndim != 2 or quats.shape[1] != 4:
+        raise ValueError(f"quats must have shape (n, 4), got {quats.shape}")
+    norms = np.linalg.norm(quats, axis=1, keepdims=True)
+    if np.any(norms < 1e-12):
+        raise ValueError("zero-norm quaternion")
+    w, x, y, z = (quats / norms).T
+    rot = np.empty((quats.shape[0], 3, 3), dtype=np.float64)
+    rot[:, 0, 0] = 1 - 2 * (y * y + z * z)
+    rot[:, 0, 1] = 2 * (x * y - w * z)
+    rot[:, 0, 2] = 2 * (x * z + w * y)
+    rot[:, 1, 0] = 2 * (x * y + w * z)
+    rot[:, 1, 1] = 1 - 2 * (x * x + z * z)
+    rot[:, 1, 2] = 2 * (y * z - w * x)
+    rot[:, 2, 0] = 2 * (x * z - w * y)
+    rot[:, 2, 1] = 2 * (y * z + w * x)
+    rot[:, 2, 2] = 1 - 2 * (x * x + y * y)
+    return rot
+
+
+def build_covariances(scales: np.ndarray, quats: np.ndarray) -> np.ndarray:
+    """Assemble 3D covariance matrices ``R diag(s)^2 R^T`` for each Gaussian."""
+    scales = np.asarray(scales, dtype=np.float64)
+    rot = quaternions_to_rotations(quats)
+    # M = R * diag(s); Sigma = M M^T
+    m = rot * scales[:, None, :]
+    return m @ m.transpose(0, 2, 1)
+
+
+@dataclass
+class GaussianScene:
+    """Structure-of-arrays container for a trained 3DGS scene.
+
+    Parameters
+    ----------
+    means:
+        ``(n, 3)`` world-space Gaussian centers.
+    scales:
+        ``(n, 3)`` per-axis standard deviations (must be positive).
+    quats:
+        ``(n, 4)`` unit rotation quaternions (w, x, y, z).
+    opacities:
+        ``(n,)`` opacity values in (0, 1].
+    sh_coeffs:
+        ``(n, k, 3)`` SH color coefficients, ``k`` in {1, 4, 9, 16}.
+    name:
+        Human-readable scene label (e.g. ``"family"``).
+    """
+
+    means: np.ndarray
+    scales: np.ndarray
+    quats: np.ndarray
+    opacities: np.ndarray
+    sh_coeffs: np.ndarray
+    name: str = "scene"
+    _covariances: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.means = np.ascontiguousarray(self.means, dtype=np.float64)
+        self.scales = np.ascontiguousarray(self.scales, dtype=np.float64)
+        self.quats = np.ascontiguousarray(self.quats, dtype=np.float64)
+        self.opacities = np.ascontiguousarray(self.opacities, dtype=np.float64)
+        self.sh_coeffs = np.ascontiguousarray(self.sh_coeffs, dtype=np.float64)
+        n = self.means.shape[0]
+        if self.means.ndim != 2 or self.means.shape[1] != 3:
+            raise ValueError(f"means must be (n, 3), got {self.means.shape}")
+        if self.scales.shape != (n, 3):
+            raise ValueError(f"scales must be ({n}, 3), got {self.scales.shape}")
+        if self.quats.shape != (n, 4):
+            raise ValueError(f"quats must be ({n}, 4), got {self.quats.shape}")
+        if self.opacities.shape != (n,):
+            raise ValueError(f"opacities must be ({n},), got {self.opacities.shape}")
+        if self.sh_coeffs.ndim != 3 or self.sh_coeffs.shape[0] != n or self.sh_coeffs.shape[2] != 3:
+            raise ValueError(f"sh_coeffs must be ({n}, k, 3), got {self.sh_coeffs.shape}")
+        k = self.sh_coeffs.shape[1]
+        implied = int(round(np.sqrt(k))) - 1
+        if num_sh_coeffs(max(implied, 0)) != k:
+            raise ValueError(f"sh_coeffs second dim must be square, got {k}")
+        if n and (self.scales <= 0).any():
+            raise ValueError("scales must be strictly positive")
+        if n and ((self.opacities <= 0) | (self.opacities > 1)).any():
+            raise ValueError("opacities must lie in (0, 1]")
+
+    def __len__(self) -> int:
+        return self.means.shape[0]
+
+    @property
+    def num_gaussians(self) -> int:
+        """Number of Gaussians in the scene."""
+        return len(self)
+
+    @property
+    def sh_degree(self) -> int:
+        """SH degree implied by the stored coefficient count."""
+        return int(round(np.sqrt(self.sh_coeffs.shape[1]))) - 1
+
+    def covariances(self) -> np.ndarray:
+        """``(n, 3, 3)`` world-space covariance matrices (cached)."""
+        if self._covariances is None or self._covariances.shape[0] != len(self):
+            self._covariances = build_covariances(self.scales, self.quats)
+        return self._covariances
+
+    def subset(self, indices: np.ndarray) -> "GaussianScene":
+        """Return a new scene restricted to ``indices`` (order preserved)."""
+        indices = np.asarray(indices)
+        return GaussianScene(
+            means=self.means[indices],
+            scales=self.scales[indices],
+            quats=self.quats[indices],
+            opacities=self.opacities[indices],
+            sh_coeffs=self.sh_coeffs[indices],
+            name=self.name,
+        )
+
+    def feature_table_bytes(self) -> int:
+        """Size of the off-chip feature table in bytes (hardware model input)."""
+        return len(self) * FEATURE_TABLE_ENTRY_BYTES
+
+    def bounding_box(self) -> tuple[np.ndarray, np.ndarray]:
+        """Axis-aligned (min, max) corners of the Gaussian centers."""
+        if not len(self):
+            zero = np.zeros(3)
+            return zero, zero
+        return self.means.min(axis=0), self.means.max(axis=0)
+
+    @staticmethod
+    def concatenate(scenes: "list[GaussianScene]", name: str = "merged") -> "GaussianScene":
+        """Concatenate several scenes into one (SH degrees must match)."""
+        if not scenes:
+            raise ValueError("need at least one scene")
+        degrees = {s.sh_degree for s in scenes}
+        if len(degrees) != 1:
+            raise ValueError(f"mixed SH degrees: {sorted(degrees)}")
+        return GaussianScene(
+            means=np.concatenate([s.means for s in scenes]),
+            scales=np.concatenate([s.scales for s in scenes]),
+            quats=np.concatenate([s.quats for s in scenes]),
+            opacities=np.concatenate([s.opacities for s in scenes]),
+            sh_coeffs=np.concatenate([s.sh_coeffs for s in scenes]),
+            name=name,
+        )

@@ -1,0 +1,68 @@
+"""Scene serialization: save/load Gaussian scenes as ``.npz`` archives.
+
+Trained 3DGS models are normally distributed as PLY files; this module
+provides the equivalent persistence for :class:`GaussianScene` using numpy's
+archive format (no external dependencies, exact round-trip), so synthetic
+scenes can be generated once and shared across runs, and externally-trained
+models converted to this layout can be loaded directly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .gaussians import GaussianScene
+
+#: Archive schema version, stored alongside the arrays.
+FORMAT_VERSION = 1
+
+_REQUIRED_KEYS = ("means", "scales", "quats", "opacities", "sh_coeffs")
+
+
+def save_scene(path: str | os.PathLike, scene: GaussianScene) -> None:
+    """Write a scene to ``path`` as a compressed ``.npz`` archive.
+
+    The archive stores the five attribute arrays plus the scene name and a
+    format version; :func:`load_scene_file` restores an identical scene.
+    """
+    np.savez_compressed(
+        path,
+        means=scene.means,
+        scales=scene.scales,
+        quats=scene.quats,
+        opacities=scene.opacities,
+        sh_coeffs=scene.sh_coeffs,
+        name=np.array(scene.name),
+        format_version=np.array(FORMAT_VERSION),
+    )
+
+
+def load_scene_file(path: str | os.PathLike) -> GaussianScene:
+    """Load a scene previously written by :func:`save_scene`.
+
+    Raises
+    ------
+    ValueError
+        If the archive is missing required arrays or has an unsupported
+        format version.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        missing = [k for k in _REQUIRED_KEYS if k not in archive]
+        if missing:
+            raise ValueError(f"{path}: not a scene archive (missing {missing})")
+        version = int(archive["format_version"]) if "format_version" in archive else 0
+        if version > FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: format version {version} newer than supported {FORMAT_VERSION}"
+            )
+        name = str(archive["name"]) if "name" in archive else "scene"
+        return GaussianScene(
+            means=archive["means"],
+            scales=archive["scales"],
+            quats=archive["quats"],
+            opacities=archive["opacities"],
+            sh_coeffs=archive["sh_coeffs"],
+            name=name,
+        )

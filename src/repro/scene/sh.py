@@ -1,0 +1,164 @@
+"""Spherical harmonics (SH) evaluation for view-dependent Gaussian color.
+
+3DGS stores per-Gaussian color as SH coefficients up to degree 3 (16 basis
+functions per channel).  During feature extraction the renderer evaluates the
+SH basis in the viewing direction of each Gaussian and contracts it with the
+stored coefficients to obtain an RGB color (paper section 2.2-2.3).
+
+The constants follow the real-valued SH basis used by the reference 3DGS
+implementation (Kerbl et al. 2023).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Band 0
+SH_C0 = 0.28209479177387814
+# Band 1
+SH_C1 = 0.4886025119029199
+# Band 2
+SH_C2 = (
+    1.0925484305920792,
+    -1.0925484305920792,
+    0.31539156525252005,
+    -1.0925484305920792,
+    0.5462742152960396,
+)
+# Band 3
+SH_C3 = (
+    -0.5900435899266435,
+    2.890611442640554,
+    -0.4570457994644658,
+    0.3731763325901154,
+    -0.4570457994644658,
+    1.445305721320277,
+    -0.5900435899266435,
+)
+
+#: Number of SH coefficients for degree ``d`` is ``(d + 1) ** 2``.
+MAX_SH_DEGREE = 3
+
+
+def num_sh_coeffs(degree: int) -> int:
+    """Return the number of SH basis functions for ``degree``.
+
+    >>> num_sh_coeffs(0), num_sh_coeffs(1), num_sh_coeffs(3)
+    (1, 4, 16)
+    """
+    if not 0 <= degree <= MAX_SH_DEGREE:
+        raise ValueError(f"SH degree must be in [0, {MAX_SH_DEGREE}], got {degree}")
+    return (degree + 1) ** 2
+
+
+def sh_basis(directions: np.ndarray, degree: int) -> np.ndarray:
+    """Evaluate the real SH basis for unit ``directions``.
+
+    Parameters
+    ----------
+    directions:
+        Array of shape ``(n, 3)`` of unit view directions.
+    degree:
+        Maximum SH degree (0 to 3 inclusive).
+
+    Returns
+    -------
+    Array of shape ``(n, (degree + 1) ** 2)`` with the basis values.
+    """
+    directions = np.asarray(directions, dtype=np.float64)
+    if directions.ndim != 2 or directions.shape[1] != 3:
+        raise ValueError(f"directions must have shape (n, 3), got {directions.shape}")
+    n = directions.shape[0]
+    basis = np.empty((n, num_sh_coeffs(degree)), dtype=np.float64)
+    basis[:, 0] = SH_C0
+    if degree == 0:
+        return basis
+
+    x, y, z = directions[:, 0], directions[:, 1], directions[:, 2]
+    basis[:, 1] = -SH_C1 * y
+    basis[:, 2] = SH_C1 * z
+    basis[:, 3] = -SH_C1 * x
+    if degree == 1:
+        return basis
+
+    xx, yy, zz = x * x, y * y, z * z
+    xy, yz, xz = x * y, y * z, x * z
+    basis[:, 4] = SH_C2[0] * xy
+    basis[:, 5] = SH_C2[1] * yz
+    basis[:, 6] = SH_C2[2] * (2.0 * zz - xx - yy)
+    basis[:, 7] = SH_C2[3] * xz
+    basis[:, 8] = SH_C2[4] * (xx - yy)
+    if degree == 2:
+        return basis
+
+    basis[:, 9] = SH_C3[0] * y * (3.0 * xx - yy)
+    basis[:, 10] = SH_C3[1] * xy * z
+    basis[:, 11] = SH_C3[2] * y * (4.0 * zz - xx - yy)
+    basis[:, 12] = SH_C3[3] * z * (2.0 * zz - 3.0 * xx - 3.0 * yy)
+    basis[:, 13] = SH_C3[4] * x * (4.0 * zz - xx - yy)
+    basis[:, 14] = SH_C3[5] * z * (xx - yy)
+    basis[:, 15] = SH_C3[6] * x * (xx - 3.0 * yy)
+    return basis
+
+
+def eval_sh_color(
+    sh_coeffs: np.ndarray, directions: np.ndarray, degree: int | None = None
+) -> np.ndarray:
+    """Evaluate view-dependent RGB colors from SH coefficients.
+
+    Parameters
+    ----------
+    sh_coeffs:
+        Array of shape ``(n, k, 3)`` where ``k`` is a square number
+        (1, 4, 9, or 16).
+    directions:
+        Unit view directions, shape ``(n, 3)``.
+    degree:
+        SH degree to evaluate; defaults to the degree implied by ``k``.
+
+    Returns
+    -------
+    Array of shape ``(n, 3)`` of RGB colors clamped to be non-negative.
+    The standard 3DGS convention adds 0.5 after the SH contraction.
+    """
+    sh_coeffs = np.asarray(sh_coeffs, dtype=np.float64)
+    if sh_coeffs.ndim != 3 or sh_coeffs.shape[2] != 3:
+        raise ValueError(f"sh_coeffs must have shape (n, k, 3), got {sh_coeffs.shape}")
+    k = sh_coeffs.shape[1]
+    implied = int(round(np.sqrt(k))) - 1
+    if num_sh_coeffs(implied) != k:
+        raise ValueError(f"sh_coeffs second dim must be a square number, got {k}")
+    if degree is None:
+        degree = implied
+    if degree > implied:
+        raise ValueError(f"requested degree {degree} exceeds stored degree {implied}")
+
+    basis = sh_basis(directions, degree)
+    used = basis.shape[1]
+    color = np.einsum("nk,nkc->nc", basis, sh_coeffs[:, :used, :]) + 0.5
+    return np.clip(color, 0.0, None)
+
+
+def rgb_to_sh_dc(rgb: np.ndarray) -> np.ndarray:
+    """Convert base RGB colors to the DC (band-0) SH coefficient.
+
+    Inverse of the band-0 part of :func:`eval_sh_color`; useful when building
+    synthetic scenes with a desired base color.
+    """
+    rgb = np.asarray(rgb, dtype=np.float64)
+    return (rgb - 0.5) / SH_C0
+
+
+def normalize_directions(vectors: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Normalize an ``(n, 3)`` array of vectors to unit length.
+
+    Zero-length vectors map to the +z axis rather than producing NaNs, so
+    degenerate view directions (camera exactly at a Gaussian mean) stay
+    renderable.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    safe = norms > eps
+    out = np.where(safe, vectors / np.where(safe, norms, 1.0), 0.0)
+    out[~safe[:, 0]] = (0.0, 0.0, 1.0)
+    return out

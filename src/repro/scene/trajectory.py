@@ -1,0 +1,199 @@
+"""Parametric camera trajectories.
+
+The paper evaluates 3DGS rendering on camera sequences captured at 30 FPS;
+temporal redundancy in the sorting stage depends only on how far the
+viewpoint moves between consecutive frames.  These trajectory generators
+produce smooth camera paths with a controllable per-frame angular / linear
+step, including the 2-16x "rapid camera movement" sweeps of Fig. 17(b).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from .camera import Camera, look_at
+
+
+@dataclass(frozen=True)
+class TrajectoryConfig:
+    """Shared knobs for the built-in trajectories.
+
+    Parameters
+    ----------
+    num_frames:
+        Number of camera poses to generate.
+    speed:
+        Motion multiplier; 1.0 matches a 30 FPS hand-held capture, larger
+        values emulate the rapid-movement scenarios of Fig. 17(b).
+    fov_y_degrees:
+        Vertical field of view for every generated camera.
+    width, height:
+        Image resolution.
+    """
+
+    num_frames: int = 60
+    speed: float = 1.0
+    fov_y_degrees: float = 60.0
+    width: int = 1280
+    height: int = 720
+
+    def __post_init__(self) -> None:
+        if self.num_frames < 1:
+            raise ValueError("num_frames must be >= 1")
+        if self.speed <= 0:
+            raise ValueError("speed must be positive")
+
+
+def _camera_at(eye: np.ndarray, target: np.ndarray, config: TrajectoryConfig, far: float) -> Camera:
+    return Camera.from_fov(
+        width=config.width,
+        height=config.height,
+        fov_y_degrees=config.fov_y_degrees,
+        world_to_camera=look_at(eye, target),
+        far=far,
+    )
+
+
+def orbit_trajectory(
+    center: np.ndarray,
+    radius: float,
+    config: TrajectoryConfig,
+    height_offset: float = 0.0,
+    degrees_per_frame: float = 0.5,
+    far: float | None = None,
+) -> list[Camera]:
+    """Cameras orbiting ``center`` at ``radius``, looking inward.
+
+    ``degrees_per_frame`` is the base angular step; the effective step is
+    scaled by ``config.speed``.  0.5 deg/frame at 30 FPS corresponds to a
+    slow walk around the subject, matching the gentle motion of the
+    Tanks-and-Temples captures.
+    """
+    center = np.asarray(center, dtype=np.float64)
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    if far is None:
+        far = radius * 20.0
+    step = np.radians(degrees_per_frame * config.speed)
+    cameras = []
+    for i in range(config.num_frames):
+        angle = step * i
+        eye = center + np.array(
+            [radius * np.cos(angle), height_offset, radius * np.sin(angle)]
+        )
+        cameras.append(_camera_at(eye, center, config, far))
+    return cameras
+
+
+def dolly_trajectory(
+    start: np.ndarray,
+    end: np.ndarray,
+    target: np.ndarray,
+    config: TrajectoryConfig,
+    far: float = 1000.0,
+) -> list[Camera]:
+    """Cameras translating from ``start`` toward ``end`` while fixating ``target``.
+
+    ``config.speed`` > 1 covers the same path in fewer effective steps
+    (i.e. larger per-frame displacement), clamped at the path end.
+    """
+    start = np.asarray(start, dtype=np.float64)
+    end = np.asarray(end, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    denom = max(config.num_frames - 1, 1)
+    cameras = []
+    for i in range(config.num_frames):
+        t = min(i * config.speed / denom, 1.0)
+        eye = (1.0 - t) * start + t * end
+        cameras.append(_camera_at(eye, target, config, far))
+    return cameras
+
+
+def pan_trajectory(
+    eye: np.ndarray,
+    initial_target: np.ndarray,
+    config: TrajectoryConfig,
+    degrees_per_frame: float = 0.4,
+    far: float = 1000.0,
+) -> list[Camera]:
+    """Cameras rotating in place (pure pan), the hardest case for reuse.
+
+    Panning changes the visible tile set quickly while depths stay nearly
+    constant, stressing insertion/deletion rather than reordering.
+    """
+    eye = np.asarray(eye, dtype=np.float64)
+    initial_target = np.asarray(initial_target, dtype=np.float64)
+    offset = initial_target - eye
+    radius = np.linalg.norm(offset)
+    if radius < 1e-9:
+        raise ValueError("eye and initial_target coincide")
+    base_angle = np.arctan2(offset[2], offset[0])
+    step = np.radians(degrees_per_frame * config.speed)
+    cameras = []
+    for i in range(config.num_frames):
+        angle = base_angle + step * i
+        target = eye + np.array(
+            [radius * np.cos(angle), offset[1], radius * np.sin(angle)]
+        )
+        cameras.append(_camera_at(eye, target, config, far))
+    return cameras
+
+
+#: Frames a 1.0x-speed flythrough takes to traverse its full waypoint path
+#: (a 4-second sweep at 30 FPS).  Keeps the per-frame step independent of
+#: how many frames a caller renders.
+FLYTHROUGH_PATH_FRAMES = 120
+
+
+def flythrough_trajectory(
+    waypoints: np.ndarray,
+    config: TrajectoryConfig,
+    look_ahead: int = 5,
+    far: float = 2000.0,
+    path_frames: int = FLYTHROUGH_PATH_FRAMES,
+) -> list[Camera]:
+    """Piecewise-linear flythrough along ``waypoints`` (large-scene scenario).
+
+    The camera advances ``speed / path_frames`` of the path's arc length per
+    frame (clamped at the end), and looks toward a point ``look_ahead``
+    frames further along — the aerial sweep used for the Mill-19 Building /
+    Rubble scenes (Fig. 17a).
+    """
+    waypoints = np.asarray(waypoints, dtype=np.float64)
+    if waypoints.ndim != 2 or waypoints.shape[1] != 3 or waypoints.shape[0] < 2:
+        raise ValueError("waypoints must be (m >= 2, 3)")
+    if path_frames < 1:
+        raise ValueError("path_frames must be >= 1")
+
+    # Arc-length parameterization of the polyline.
+    seg = np.diff(waypoints, axis=0)
+    seg_len = np.linalg.norm(seg, axis=1)
+    total = seg_len.sum()
+    if total < 1e-9:
+        raise ValueError("degenerate waypoint path")
+    cum = np.concatenate([[0.0], np.cumsum(seg_len)])
+    samples = np.minimum(
+        np.arange(config.num_frames) * config.speed / path_frames, 1.0
+    )
+    positions = np.stack(
+        [np.interp(samples * total, cum, waypoints[:, k]) for k in range(3)], axis=1
+    )
+
+    cameras = []
+    for i in range(config.num_frames):
+        j = min(i + look_ahead, config.num_frames - 1)
+        target = positions[j]
+        eye = positions[i]
+        if np.linalg.norm(target - eye) < 1e-9:
+            target = eye + np.array([1.0, 0.0, 0.0])
+        cameras.append(_camera_at(eye, target, config, far))
+    return cameras
+
+
+def iter_frame_pairs(cameras: list[Camera]) -> Iterator[tuple[Camera, Camera]]:
+    """Yield consecutive ``(previous, current)`` camera pairs."""
+    for prev, cur in zip(cameras, cameras[1:]):
+        yield prev, cur

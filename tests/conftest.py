@@ -1,0 +1,52 @@
+"""Shared fixtures: small scenes and camera paths sized for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scene import (
+    Camera,
+    GaussianScene,
+    TrajectoryConfig,
+    load_scene,
+    look_at,
+    orbit_trajectory,
+)
+
+
+@pytest.fixture(scope="session")
+def small_scene() -> GaussianScene:
+    """A 600-Gaussian 'family' scene (session-scoped; treat as read-only)."""
+    return load_scene("family", num_gaussians=600)
+
+
+@pytest.fixture(scope="session")
+def tiny_scene() -> GaussianScene:
+    """A 60-Gaussian scene for per-function unit tests."""
+    return load_scene("horse", num_gaussians=60)
+
+
+@pytest.fixture(scope="session")
+def camera() -> Camera:
+    """A 160x90 camera looking at the scene center from the default orbit."""
+    return Camera.from_fov(
+        width=160,
+        height=90,
+        fov_y_degrees=60.0,
+        world_to_camera=look_at(np.array([6.0, 1.2, 0.0]), np.zeros(3)),
+        far=200.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def camera_path() -> list[Camera]:
+    """Five orbit cameras at 160x90 with gentle motion."""
+    config = TrajectoryConfig(num_frames=5, width=160, height=90)
+    return orbit_trajectory(np.zeros(3), radius=6.0, config=config, height_offset=1.2)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic RNG for per-test randomness."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,84 @@
+"""Unit tests for the area/power model (Tables 3-4)."""
+
+import pytest
+
+from repro.hw.area_power import (
+    engine_summaries,
+    gscore_summary,
+    neo_breakdown,
+    neo_summary,
+    scale_technology,
+)
+from repro.hw.config import NeoConfig
+
+
+class TestTechnologyScaling:
+    def test_identity_at_same_node(self):
+        assert scale_technology(1.0, 100.0, 7, 7) == (1.0, 100.0)
+
+    def test_shrink_from_28nm(self):
+        area, power = scale_technology(1.0, 100.0, 28, 7)
+        assert area < 0.2
+        assert power < 0.5 * 100
+
+    def test_roundtrip(self):
+        area, power = scale_technology(1.0, 100.0, 28, 7)
+        back_area, back_power = scale_technology(area, power, 7, 28)
+        assert back_area == pytest.approx(1.0)
+        assert back_power == pytest.approx(100.0)
+
+    def test_unknown_node(self):
+        with pytest.raises(KeyError):
+            scale_technology(1.0, 1.0, 5)
+
+
+class TestTable3:
+    def test_neo_matches_paper(self):
+        total = neo_summary()
+        assert total.area_mm2 == pytest.approx(0.387, abs=0.002)
+        assert total.power_mw == pytest.approx(797.8, abs=1.0)
+
+    def test_gscore_matches_paper(self):
+        entry = gscore_summary()
+        assert entry.area_mm2 == pytest.approx(0.417, abs=0.002)
+        assert entry.power_mw == pytest.approx(719.9, abs=1.0)
+
+    def test_neo_smaller_than_gscore(self):
+        assert neo_summary().area_mm2 < gscore_summary().area_mm2
+
+
+class TestTable4:
+    def test_component_rows_match_paper(self):
+        by_name = {e.name: e for e in neo_breakdown()}
+        assert by_name["Merge Sort Unit+"].area_mm2 == pytest.approx(0.005, abs=5e-4)
+        assert by_name["Merge Sort Unit+"].power_mw == pytest.approx(12.4, abs=0.5)
+        assert by_name["Bitonic Sort Unit"].power_mw == pytest.approx(75.0, abs=0.5)
+        assert by_name["Subtile Compute Unit"].area_mm2 == pytest.approx(0.228, abs=1e-3)
+        assert by_name["Intersection Test Unit"].power_mw == pytest.approx(58.7, abs=0.5)
+
+    def test_engine_rollup_matches_paper(self):
+        engines = {e.name: e for e in engine_summaries()}
+        assert engines["Preprocessing Engine"].power_mw == pytest.approx(194.9, abs=0.5)
+        assert engines["Sorting Engine"].area_mm2 == pytest.approx(0.053, abs=1e-3)
+        assert engines["Rasterization Engine"].power_mw == pytest.approx(443.9, abs=1.0)
+
+    def test_added_hardware_is_cheap(self):
+        # The MSU+ and ITUs (Neo's additions) cost ~9% of area and power.
+        total = neo_summary()
+        added = [
+            e for e in neo_breakdown()
+            if e.name in ("Merge Sort Unit+", "Intersection Test Unit")
+        ]
+        area_share = sum(e.area_mm2 for e in added) / total.area_mm2
+        power_share = sum(e.power_mw for e in added) / total.power_mw
+        assert area_share == pytest.approx(0.0904, abs=0.01)
+        assert power_share == pytest.approx(0.0891, abs=0.01)
+
+    def test_scaling_with_configuration(self):
+        double_sort = NeoConfig(sorting_cores=32)
+        bigger = {e.name: e for e in neo_breakdown(double_sort)}
+        base = {e.name: e for e in neo_breakdown()}
+        assert bigger["Bitonic Sort Unit"].area_mm2 == pytest.approx(
+            2 * base["Bitonic Sort Unit"].area_mm2
+        )
+        assert bigger["Subtile Compute Unit"].area_mm2 == base["Subtile Compute Unit"].area_mm2

@@ -1,0 +1,90 @@
+"""Unit tests for the Bitonic Sorting Unit model."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitonic import (
+    BSU_WIDTH,
+    BitonicStats,
+    bitonic_sort_16,
+    bsu_sort_chunk,
+    network_stages,
+)
+
+
+class TestNetworkStages:
+    def test_known_sizes(self):
+        assert network_stages(2) == 1
+        assert network_stages(4) == 3
+        assert network_stages(8) == 6
+        assert network_stages(16) == 10
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            network_stages(12)
+        with pytest.raises(ValueError):
+            network_stages(0)
+
+
+class TestBitonicSort16:
+    def test_sorts_full_width(self, rng):
+        keys = rng.normal(size=16)
+        out, _ = bitonic_sort_16(keys)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_sorts_partial_width(self, rng):
+        keys = rng.normal(size=9)
+        out, _ = bitonic_sort_16(keys)
+        assert out.shape == (9,)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_values_travel_with_keys(self, rng):
+        keys = rng.normal(size=16)
+        values = np.arange(16)
+        out_keys, out_vals = bitonic_sort_16(keys, values)
+        assert np.array_equal(out_keys, keys[np.argsort(keys)])
+        assert np.array_equal(keys[out_vals], out_keys)
+
+    def test_stats_counts(self):
+        stats = BitonicStats()
+        bitonic_sort_16(np.arange(16.0), stats=stats)
+        assert stats.invocations == 1
+        assert stats.stages == network_stages(16)
+        assert stats.comparators == network_stages(16) * 8
+        assert stats.cycles == stats.stages
+
+    def test_rejects_oversized_input(self):
+        with pytest.raises(ValueError):
+            bitonic_sort_16(np.zeros(17))
+
+    def test_rejects_misaligned_values(self):
+        with pytest.raises(ValueError):
+            bitonic_sort_16(np.zeros(4), np.zeros(3))
+
+    def test_duplicate_keys(self):
+        keys = np.array([3.0, 1.0, 3.0, 1.0, 2.0])
+        out, _ = bitonic_sort_16(keys)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_single_element(self):
+        out, _ = bitonic_sort_16(np.array([5.0]))
+        assert np.array_equal(out, [5.0])
+
+
+class TestBsuSortChunk:
+    def test_runs_are_sorted(self, rng):
+        keys = rng.normal(size=100)
+        values = np.arange(100)
+        out_keys, out_vals, runs = bsu_sort_chunk(keys, values)
+        assert len(runs) == 7  # ceil(100/16)
+        for start, end in runs:
+            assert np.array_equal(out_keys[start:end], np.sort(out_keys[start:end]))
+        # The full array is a permutation carrying values with keys.
+        assert np.array_equal(np.sort(out_keys), np.sort(keys))
+        assert np.array_equal(keys[out_vals], out_keys)
+
+    def test_stats_accumulate(self, rng):
+        stats = BitonicStats()
+        bsu_sort_chunk(rng.normal(size=64), stats=stats)
+        assert stats.invocations == 4
+        assert stats.stages == 4 * network_stages(BSU_WIDTH)

@@ -1,0 +1,85 @@
+"""Unit tests for the pinhole camera model."""
+
+import numpy as np
+import pytest
+
+from repro.scene.camera import RESOLUTIONS, Camera, look_at, resolution
+
+
+class TestResolutionPresets:
+    def test_paper_resolutions(self):
+        assert resolution("hd") == (1280, 720)
+        assert resolution("FHD") == (1920, 1080)
+        assert resolution("qhd") == (2560, 1440)
+        assert resolution("uhd") == (3840, 2160)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            resolution("8k")
+
+    def test_all_presets_are_16_9(self):
+        for width, height in RESOLUTIONS.values():
+            assert width * 9 == height * 16
+
+
+class TestLookAt:
+    def test_forward_maps_to_positive_z(self):
+        mat = look_at(np.array([0.0, 0.0, -5.0]), np.zeros(3))
+        point = mat @ np.array([0.0, 0.0, 0.0, 1.0])
+        assert point[2] == pytest.approx(5.0)
+        assert point[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_rigid_transform(self):
+        mat = look_at(np.array([3.0, 2.0, 1.0]), np.array([-1.0, 0.5, 2.0]))
+        rot = mat[:3, :3]
+        assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(rot) == pytest.approx(1.0)
+
+    def test_coincident_eye_target_rejected(self):
+        with pytest.raises(ValueError):
+            look_at(np.ones(3), np.ones(3))
+
+    def test_up_parallel_to_forward_handled(self):
+        mat = look_at(np.zeros(3), np.array([0.0, 5.0, 0.0]))
+        assert np.isfinite(mat).all()
+
+
+class TestCamera:
+    def test_center_projection(self, camera):
+        center = camera.position + camera.world_to_camera[:3, :3].T @ np.array([0, 0, 5.0])
+        uv = camera.project(camera.transform_points(center[None]))
+        assert uv[0, 0] == pytest.approx(camera.cx)
+        assert uv[0, 1] == pytest.approx(camera.cy)
+
+    def test_position_inverts_transform(self, camera):
+        cam_space = camera.transform_points(camera.position[None])
+        assert np.allclose(cam_space, 0.0, atol=1e-9)
+
+    def test_with_resolution_preserves_fov(self, camera):
+        scaled = camera.with_resolution(camera.width * 2, camera.height * 2)
+        assert scaled.tan_half_fov_x == pytest.approx(camera.tan_half_fov_x)
+        assert scaled.tan_half_fov_y == pytest.approx(camera.tan_half_fov_y)
+
+    def test_from_fov(self):
+        cam = Camera.from_fov(640, 480, fov_y_degrees=90.0)
+        assert cam.fy == pytest.approx(240.0)
+
+    def test_from_fov_rejects_bad_angle(self):
+        with pytest.raises(ValueError):
+            Camera.from_fov(640, 480, fov_y_degrees=0.0)
+        with pytest.raises(ValueError):
+            Camera.from_fov(640, 480, fov_y_degrees=180.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Camera(width=0, height=10, fx=1.0, fy=1.0, world_to_camera=np.eye(4))
+        with pytest.raises(ValueError):
+            Camera(width=10, height=10, fx=1.0, fy=1.0,
+                   world_to_camera=np.eye(4), near=2.0, far=1.0)
+        with pytest.raises(ValueError):
+            Camera(width=10, height=10, fx=1.0, fy=1.0, world_to_camera=np.eye(3))
+
+    def test_depth_clamped_in_projection(self, camera):
+        behind = np.array([[0.0, 0.0, -1.0]])
+        uv = camera.project(behind)
+        assert np.isfinite(uv).all()

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main, write_ppm
+
+
+class TestParser:
+    def test_subcommands(self):
+        parser = build_parser()
+        assert parser.parse_args(["list"]).command == "list"
+        args = parser.parse_args(["run", "fig15"])
+        assert args.experiment == "fig15"
+        args = parser.parse_args(["simulate", "neo", "family", "qhd"])
+        assert args.system == "neo"
+        assert args.bandwidth == 51.2
+
+    def test_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "tpu", "family", "qhd"])
+
+    def test_rejects_missing_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestWritePpm:
+    def test_roundtrip_header_and_pixels(self, tmp_path):
+        image = np.zeros((2, 3, 3))
+        image[0, 0] = (1.0, 0.0, 0.5)
+        path = tmp_path / "out.ppm"
+        write_ppm(str(path), image)
+        payload = path.read_bytes()
+        assert payload.startswith(b"P6\n3 2\n255\n")
+        pixels = payload.split(b"255\n", 1)[1]
+        assert len(pixels) == 2 * 3 * 3
+        assert pixels[0] == 255 and pixels[1] == 0 and pixels[2] == 128
+
+    def test_clipping(self, tmp_path):
+        image = np.full((1, 1, 3), 2.0)
+        path = tmp_path / "clip.ppm"
+        write_ppm(str(path), image)
+        assert path.read_bytes()[-3:] == b"\xff\xff\xff"
+
+    def test_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(str(tmp_path / "bad.ppm"), np.zeros((4, 4)))
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig15" in out and "family" in out
+
+    def test_run_table3(self, capsys):
+        assert main(["run", "table3"]) == 0
+        assert "GSCore" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "neo", "horse", "hd", "--frames", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "FPS" in out and "sorting" in out
+
+    def test_render(self, tmp_path, capsys):
+        out_path = tmp_path / "frame.ppm"
+        code = main([
+            "render", "horse", str(out_path),
+            "--width", "96", "--height", "54", "--gaussians", "300",
+        ])
+        assert code == 0
+        assert out_path.exists()
+        assert out_path.read_bytes().startswith(b"P6\n96 54\n")

@@ -1,0 +1,89 @@
+"""Unit tests for frustum culling."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.culling import CullingResult, frustum_cull
+from repro.scene import Camera, GaussianScene, look_at
+
+
+def _point_scene(points) -> GaussianScene:
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    quats = np.zeros((n, 4))
+    quats[:, 0] = 1.0
+    return GaussianScene(
+        means=points,
+        scales=np.full((n, 3), 1e-3),
+        quats=quats,
+        opacities=np.full(n, 0.9),
+        sh_coeffs=np.zeros((n, 1, 3)),
+    )
+
+
+@pytest.fixture()
+def forward_camera():
+    return Camera.from_fov(
+        width=100, height=100, fov_y_degrees=90.0,
+        world_to_camera=look_at(np.zeros(3), np.array([0.0, 0.0, 10.0])),
+        near=0.5, far=100.0,
+    )
+
+
+class TestFrustumCull:
+    def test_keeps_points_in_front(self, forward_camera):
+        scene = _point_scene([[0, 0, 5], [0, 0, 50]])
+        result = frustum_cull(scene, forward_camera)
+        assert result.num_visible == 2
+
+    def test_discards_behind_camera(self, forward_camera):
+        scene = _point_scene([[0, 0, -5], [0, 0, 5]])
+        result = frustum_cull(scene, forward_camera)
+        assert list(result.visible_ids) == [1]
+
+    def test_discards_beyond_far(self, forward_camera):
+        scene = _point_scene([[0, 0, 500]])
+        assert frustum_cull(scene, forward_camera).num_visible == 0
+
+    def test_discards_far_lateral(self, forward_camera):
+        # 90 degree fov: at z=5 the frustum half-width is 5; 1.3x margin ~ 6.5.
+        scene = _point_scene([[20, 0, 5], [3, 0, 5]])
+        result = frustum_cull(scene, forward_camera)
+        assert list(result.visible_ids) == [1]
+
+    def test_margin_keeps_boundary_points(self, forward_camera):
+        scene = _point_scene([[5.8, 0, 5]])  # outside strict frustum, inside 1.3x
+        assert frustum_cull(scene, forward_camera).num_visible == 1
+
+    def test_large_gaussian_near_boundary_kept(self, forward_camera):
+        scene = _point_scene([[8.0, 0, 5]])
+        strict = frustum_cull(scene, forward_camera)
+        assert strict.num_visible == 0
+        fat = GaussianScene(
+            means=scene.means,
+            scales=np.full((1, 3), 1.0),  # 3-sigma pad = 3 units
+            quats=scene.quats,
+            opacities=scene.opacities,
+            sh_coeffs=scene.sh_coeffs,
+        )
+        assert frustum_cull(fat, forward_camera).num_visible == 1
+
+    def test_rejects_margin_below_one(self, forward_camera):
+        scene = _point_scene([[0, 0, 5]])
+        with pytest.raises(ValueError):
+            frustum_cull(scene, forward_camera, margin=0.5)
+
+    def test_cull_rate(self, forward_camera):
+        scene = _point_scene([[0, 0, 5], [0, 0, -5], [0, 0, 500], [0, 0, 2]])
+        result = frustum_cull(scene, forward_camera)
+        assert result.cull_rate == pytest.approx(0.5)
+
+    def test_empty_scene(self, forward_camera):
+        result = frustum_cull(_point_scene(np.zeros((0, 3))), forward_camera)
+        assert result.num_visible == 0
+        assert result.cull_rate == 0.0
+
+    def test_visible_ids_sorted(self, small_scene, camera):
+        result = frustum_cull(small_scene, camera)
+        assert isinstance(result, CullingResult)
+        assert (np.diff(result.visible_ids) > 0).all()

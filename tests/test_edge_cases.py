@@ -1,0 +1,140 @@
+"""Edge-case and failure-injection tests across the pipeline.
+
+Degenerate inputs a downstream user will eventually hit: empty scenes,
+cameras seeing nothing, single-splat scenes, tiles that empty out entirely
+mid-sequence, and Neo state surviving all of it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NeoSortStrategy
+from repro.pipeline import Renderer
+from repro.scene import Camera, GaussianScene, load_scene, look_at
+
+
+def _empty_scene() -> GaussianScene:
+    return GaussianScene(
+        means=np.zeros((0, 3)),
+        scales=np.zeros((0, 3)),
+        quats=np.zeros((0, 4)),
+        opacities=np.zeros(0),
+        sh_coeffs=np.zeros((0, 1, 3)),
+    )
+
+
+def _single_gaussian_scene() -> GaussianScene:
+    return GaussianScene(
+        means=np.array([[0.0, 0.0, 0.0]]),
+        scales=np.array([[0.3, 0.3, 0.3]]),
+        quats=np.array([[1.0, 0.0, 0.0, 0.0]]),
+        opacities=np.array([0.9]),
+        sh_coeffs=np.zeros((1, 1, 3)),
+    )
+
+
+def _camera(eye, target, width=96, height=54) -> Camera:
+    return Camera.from_fov(
+        width=width, height=height, fov_y_degrees=60.0,
+        world_to_camera=look_at(np.asarray(eye, dtype=float), np.asarray(target, dtype=float)),
+    )
+
+
+class TestEmptyScene:
+    def test_render_black_frame(self):
+        record = Renderer(_empty_scene()).render(_camera([0, 0, -5], [0, 0, 0]))
+        assert record.image.shape == (54, 96, 3)
+        assert np.all(record.image == 0.0)
+        assert record.stats.num_pairs == 0
+
+    def test_neo_strategy_on_empty_scene(self):
+        neo = NeoSortStrategy()
+        renderer = Renderer(_empty_scene(), strategy=neo)
+        for i in range(3):
+            renderer.render(_camera([0, 0, -5], [0, 0, 0]), frame_index=i)
+        assert neo.frame_stats[-1].table_entries_after == 0
+
+
+class TestNothingVisible:
+    def test_camera_looking_away(self, small_scene):
+        # Camera at the scene center looking outward past everything.
+        camera = _camera([0, 300, 0], [0, 600, 0])
+        record = Renderer(small_scene).render(camera)
+        assert record.stats.num_pairs == 0
+        assert np.all(record.image == 0.0)
+
+    def test_neo_survives_blackout_frames(self, small_scene):
+        # Visible -> nothing visible -> visible again: tables must empty
+        # and rebuild without stale ghosts.
+        neo = NeoSortStrategy()
+        renderer = Renderer(small_scene, strategy=neo)
+        good = _camera([6, 1.2, 0], [0, 0, 0], width=128, height=72)
+        blackout = _camera([0, 300, 0], [0, 600, 0], width=128, height=72)
+        first = renderer.render(good, frame_index=0)
+        renderer.render(blackout, frame_index=1)
+        third = renderer.render(good, frame_index=2)
+        assert first.stats.num_pairs > 0
+        assert third.stats.num_pairs > 0
+        # Quality after the blackout matches a fresh exact render.
+        reference = Renderer(small_scene).render(good)
+        assert np.abs(reference.image - third.image).max() < 0.25
+
+
+class TestSingleGaussian:
+    def test_renders_and_reuses(self):
+        scene = _single_gaussian_scene()
+        neo = NeoSortStrategy()
+        renderer = Renderer(scene, strategy=neo)
+        camera = _camera([0, 0, -3], [0, 0, 0])
+        for i in range(3):
+            record = renderer.render(camera, frame_index=i)
+        assert record.image.max() >= 0.0
+        assert neo.frame_stats[-1].table_entries_after >= 1
+
+    def test_camera_inside_gaussian(self):
+        # Degenerate view direction (camera at the splat mean) must not NaN.
+        scene = _single_gaussian_scene()
+        camera = _camera([0, 0, 0], [0, 0, 1])
+        record = Renderer(scene).render(camera)
+        assert np.isfinite(record.image).all()
+
+
+class TestTinyViewports:
+    @pytest.mark.parametrize("width,height", [(1, 1), (16, 16), (17, 13)])
+    def test_odd_resolutions(self, width, height):
+        scene = load_scene("horse", num_gaussians=100)
+        camera = _camera([5, 1, 0], [0, 0, 0], width=width, height=height)
+        record = Renderer(scene).render(camera)
+        assert record.image.shape == (height, width, 3)
+        assert np.isfinite(record.image).all()
+
+    def test_tile_bigger_than_image(self):
+        scene = load_scene("horse", num_gaussians=100)
+        camera = _camera([5, 1, 0], [0, 0, 0], width=40, height=30)
+        record = Renderer(scene, tile_size=64).render(camera)
+        assert record.assignment.grid.num_tiles == 1
+        assert np.isfinite(record.image).all()
+
+
+class TestExtremeOpacity:
+    def test_fully_opaque_wall_terminates(self):
+        # A wall of near-opaque splats in front must hide everything behind.
+        n = 40
+        means = np.zeros((n, 3))
+        means[: n // 2, 2] = 1.0   # front wall
+        means[n // 2 :, 2] = 5.0   # back layer
+        rng = np.random.default_rng(0)
+        means[:, :2] = rng.uniform(-0.5, 0.5, size=(n, 2))
+        sh = np.zeros((n, 1, 3))
+        sh[n // 2 :, 0, 0] = 10.0  # back is bright red if visible
+        scene = GaussianScene(
+            means=means,
+            scales=np.full((n, 3), 0.4),
+            quats=np.tile([1.0, 0, 0, 0], (n, 1)),
+            opacities=np.full(n, 0.999),
+            sh_coeffs=sh,
+        )
+        camera = _camera([0, 0, -3], [0, 0, 1])
+        record = Renderer(scene).render(camera)
+        center = record.image[27, 48]
+        assert center[0] < 0.6  # back red mostly occluded

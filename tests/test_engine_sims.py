@@ -1,0 +1,163 @@
+"""Unit tests for the engine-level discrete-event simulators."""
+
+import numpy as np
+import pytest
+
+from repro.hw.config import DramConfig, NeoConfig
+from repro.hw.preprocess_engine import PreprocessEngineSim
+from repro.hw.raster_engine import (
+    RasterEngineSim,
+    SubtileGroupWork,
+    groups_for_tile,
+    rasterize_tile_timeline,
+)
+from repro.hw.sorting_engine import (
+    SortingEngineSim,
+    chunk_compute_cycles,
+    jobs_from_occupancy,
+)
+
+
+class TestChunkComputeCycles:
+    def test_full_chunk(self):
+        # 256 entries = 16 BSU runs x 10 stages + 4 merge levels x 256.
+        assert chunk_compute_cycles(256) == 16 * 10 + 4 * 256
+
+    def test_single_subchunk_skips_merge(self):
+        assert chunk_compute_cycles(16) == 10
+        assert chunk_compute_cycles(10) == 10
+
+    def test_empty(self):
+        assert chunk_compute_cycles(0) == 0
+
+
+class TestJobsFromOccupancy:
+    def test_splitting(self):
+        jobs = jobs_from_occupancy([300, 0, 256, 10], chunk_size=256)
+        sizes = [(j.tile, j.entries) for j in jobs]
+        assert sizes == [(0, 256), (0, 44), (2, 256), (3, 10)]
+
+    def test_total_entries_preserved(self, rng):
+        occ = rng.integers(0, 2000, size=50)
+        jobs = jobs_from_occupancy(occ)
+        assert sum(j.entries for j in jobs) == occ.sum()
+
+
+class TestSortingEngineSim:
+    def test_empty(self):
+        report = SortingEngineSim().simulate([])
+        assert report.total_cycles == 0
+        assert report.dram_utilization == 0.0
+
+    def test_bandwidth_bound_matches_analytic(self):
+        # Large uniform workload at edge bandwidth: the engine must be
+        # DRAM-limited, and the per-entry cost must equal the streaming
+        # transfer cost (16 bytes per entry, read + write).
+        sim = SortingEngineSim()
+        occ = np.full(500, 4096)
+        report = sim.simulate_frame(occ)
+        analytic = 16.0 / (sim.dram.bandwidth_gbps * sim.dram.efficiency)
+        assert report.cycles_per_entry == pytest.approx(analytic, rel=0.05)
+        assert report.dram_utilization > 0.95
+
+    def test_compute_bound_with_huge_bandwidth(self):
+        sim = SortingEngineSim(dram=DramConfig(bandwidth_gbps=10_000))
+        occ = np.full(64, 4096)
+        report = sim.simulate_frame(occ)
+        # With near-infinite bandwidth the cores limit throughput:
+        # ~4.6 compute cycles per entry spread over 16 cores.
+        per_entry = chunk_compute_cycles(256) / 256 / sim.config.sorting_cores
+        assert report.cycles_per_entry == pytest.approx(per_entry, rel=0.2)
+        assert report.dram_utilization < 0.5
+
+    def test_sixteen_cores_saturate_edge_bandwidth(self):
+        # At edge bandwidth, 16 cores are just enough to become DRAM-bound
+        # (4.6 compute cycles/entry vs 0.37 transfer cycles/entry), which is
+        # why Neo provisions 16 Sorting Cores (Table 1): doubling them buys
+        # nothing, while halving them makes the engine compute-bound.
+        occ = np.full(200, 2048)
+        edge_8 = SortingEngineSim(config=NeoConfig(sorting_cores=8)).simulate_frame(occ)
+        edge_16 = SortingEngineSim(config=NeoConfig(sorting_cores=16)).simulate_frame(occ)
+        edge_32 = SortingEngineSim(config=NeoConfig(sorting_cores=32)).simulate_frame(occ)
+        assert edge_16.dram_utilization > 0.95
+        assert edge_8.total_cycles / edge_16.total_cycles > 1.3  # compute-bound at 8
+        assert edge_16.total_cycles / edge_32.total_cycles < 1.1  # saturated at 16
+
+    def test_bandwidth_lifts_compute_bound_cores(self):
+        occ = np.full(200, 2048)
+        fast = DramConfig(bandwidth_gbps=2000)
+        fast_4 = SortingEngineSim(config=NeoConfig(sorting_cores=4), dram=fast).simulate_frame(occ)
+        fast_16 = SortingEngineSim(config=NeoConfig(sorting_cores=16), dram=fast).simulate_frame(occ)
+        assert fast_4.total_cycles / fast_16.total_cycles > 2.0
+
+    def test_conservation(self):
+        occ = [100, 300, 700]
+        report = SortingEngineSim().simulate_frame(occ)
+        assert report.entries == 1100
+        assert report.chunks == 1 + 2 + 3
+
+
+class TestRasterTimeline:
+    def test_empty(self):
+        timeline = rasterize_tile_timeline([])
+        assert timeline.total_cycles == 0.0
+
+    def test_pipeline_hides_itu(self):
+        # SCU-heavy groups: ITU work overlaps and total ~= itu(g0) + sum scu.
+        groups = [SubtileGroupWork(gaussians=10, hits=100)] * 8
+        timeline = rasterize_tile_timeline(groups)
+        expected = 10 * 1.0 + 8 * 100 * 4.0
+        assert timeline.total_cycles == pytest.approx(expected)
+        assert timeline.pipeline_efficiency > 0.95
+
+    def test_itu_bound_when_hits_sparse(self):
+        groups = [SubtileGroupWork(gaussians=1000, hits=1)] * 4
+        timeline = rasterize_tile_timeline(groups)
+        assert timeline.total_cycles == pytest.approx(4 * 1000 * 1.0 + 1 * 4.0)
+        assert timeline.pipeline_efficiency < 0.1
+
+    def test_groups_for_tile(self):
+        groups = groups_for_tile(num_gaussians=500, subtile_hits=3200)
+        assert len(groups) == 16  # 64 subtiles / 4 SCUs per core
+        assert sum(g.hits for g in groups) == pytest.approx(3200, rel=0.01)
+
+
+class TestRasterEngineSim:
+    def test_cores_balance_tiles(self):
+        sim = RasterEngineSim()
+        report = sim.simulate_frame([100] * 8, [600] * 8)
+        single = rasterize_tile_timeline(groups_for_tile(100, 600)).total_cycles
+        # 8 tiles over 4 cores -> 2 tiles per core.
+        assert report.total_cycles == pytest.approx(2 * single)
+        assert report.tiles == 8
+
+    def test_empty_tiles_skipped(self):
+        report = RasterEngineSim().simulate_frame([0, 50], [0, 200])
+        assert report.tiles == 1
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            RasterEngineSim().simulate_frame([1, 2], [3])
+
+
+class TestPreprocessEngineSim:
+    def test_bottleneck_identification(self):
+        sim = PreprocessEngineSim()
+        report = sim.simulate_frame(1_000_000, 100_000, 200_000)
+        assert report.bottleneck == "projection"
+        report = sim.simulate_frame(1_000_000, 900_000, 8_000_000)
+        assert report.bottleneck == "duplication"
+
+    def test_latency_is_max_stage_plus_fill(self):
+        report = PreprocessEngineSim().simulate_frame(4000, 2000, 4000)
+        assert report.total_cycles == pytest.approx(
+            max(report.projection_cycles, report.color_cycles, report.duplication_cycles)
+            + 64
+        )
+
+    def test_validation(self):
+        sim = PreprocessEngineSim()
+        with pytest.raises(ValueError):
+            sim.simulate_frame(-1, 0, 0)
+        with pytest.raises(ValueError):
+            sim.simulate_frame(10, 20, 0)

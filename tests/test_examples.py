@@ -1,0 +1,39 @@
+"""Smoke checks for the example scripts: they must parse and expose main()."""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_at_least_three_examples_exist():
+    assert len(EXAMPLE_FILES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    functions = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+    assert "main" in functions
+    # Runnable as a script.
+    assert any(
+        isinstance(node, ast.If)
+        and getattr(getattr(node.test, "left", None), "id", "") == "__name__"
+        for node in tree.body
+    )
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_only_public_api(path):
+    # Examples must exercise the public API, not private internals.
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if node.module == "__future__":
+                continue
+            assert not node.module.split(".")[-1].startswith("_")
+            for alias in node.names:
+                assert not alias.name.startswith("_")

@@ -1,0 +1,120 @@
+"""Unit tests for the per-tile Gaussian table."""
+
+import numpy as np
+import pytest
+
+from repro.core.gaussian_table import TABLE_ENTRY_BYTES, GaussianTable
+
+
+def _table(n=6):
+    ids = np.arange(n, dtype=np.int64) * 10
+    depths = np.linspace(1.0, 2.0, n)
+    return GaussianTable.from_sorted(ids, depths)
+
+
+class TestConstruction:
+    def test_from_sorted(self):
+        table = _table(4)
+        assert len(table) == 4
+        assert table.num_valid == 4
+        assert table.size_bytes == 4 * TABLE_ENTRY_BYTES
+
+    def test_empty(self):
+        table = GaussianTable()
+        assert len(table) == 0
+        assert table.num_valid == 0
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            GaussianTable(ids=np.array([1, 1]), depths=np.array([1.0, 2.0]))
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            GaussianTable(ids=np.array([1, 2]), depths=np.array([1.0]))
+        with pytest.raises(ValueError):
+            GaussianTable(
+                ids=np.array([1, 2]),
+                depths=np.array([1.0, 2.0]),
+                valid=np.array([True]),
+            )
+
+    def test_copy_independent(self):
+        table = _table()
+        clone = table.copy()
+        clone.valid[0] = False
+        assert table.valid[0]
+
+
+class TestMarkInvalid:
+    def test_marks_and_counts(self):
+        table = _table(5)
+        hit = table.mark_invalid(np.array([0, 20, 999]))
+        assert hit == 2
+        assert table.num_valid == 3
+        assert not table.valid[0]
+        assert not table.valid[2]
+
+    def test_idempotent(self):
+        table = _table(3)
+        assert table.mark_invalid(np.array([0])) == 1
+        assert table.mark_invalid(np.array([0])) == 0
+
+    def test_empty_input(self):
+        table = _table(3)
+        assert table.mark_invalid(np.empty(0, dtype=np.int64)) == 0
+
+
+class TestDepthUpdate:
+    def test_updates_known_ids(self):
+        table = _table(4)
+        refreshed = table.update_depths(ids=np.array([0, 30]), depths=np.array([9.0, 8.0]))
+        assert refreshed == 2
+        assert table.depths[0] == 9.0
+        assert table.depths[3] == 8.0
+        assert table.depths[1] == pytest.approx(1.0 + 1 / 3)
+
+    def test_mapping_interface(self):
+        table = _table(3)
+        assert table.update_depths({10: 5.0}) == 1
+        assert table.depths[1] == 5.0
+
+    def test_unknown_ids_ignored(self):
+        table = _table(3)
+        assert table.update_depths(ids=np.array([777]), depths=np.array([1.0])) == 0
+
+    def test_empty_cases(self):
+        table = _table(2)
+        assert table.update_depths(ids=np.empty(0, dtype=np.int64), depths=np.empty(0)) == 0
+        empty = GaussianTable()
+        assert empty.update_depths(ids=np.array([1]), depths=np.array([1.0])) == 0
+
+    def test_requires_arguments(self):
+        with pytest.raises(ValueError):
+            _table(2).update_depths()
+
+    def test_rejects_misaligned_updates(self):
+        with pytest.raises(ValueError):
+            _table(2).update_depths(ids=np.array([1, 2]), depths=np.array([1.0]))
+
+
+class TestCompactAndMembership:
+    def test_compact_removes_invalid(self):
+        table = _table(5)
+        table.mark_invalid(np.array([10, 40]))
+        removed = table.compact()
+        assert removed == 2
+        assert len(table) == 3
+        assert table.valid.all()
+        assert 10 not in table.ids
+
+    def test_membership_excludes_invalid(self):
+        table = _table(4)
+        table.mark_invalid(np.array([20]))
+        assert table.membership() == {0, 10, 30}
+
+    def test_set_valid_bits(self):
+        table = _table(3)
+        table.set_valid_bits(np.array([False, True, False]))
+        assert table.num_valid == 1
+        with pytest.raises(ValueError):
+            table.set_valid_bits(np.array([True]))

@@ -1,0 +1,138 @@
+"""Unit tests for the GaussianScene container."""
+
+import numpy as np
+import pytest
+
+from repro.scene.gaussians import (
+    FEATURE_TABLE_ENTRY_BYTES,
+    GaussianScene,
+    build_covariances,
+    quaternions_to_rotations,
+)
+
+
+def _make_scene(n=10, seed=0, sh_k=4):
+    rng = np.random.default_rng(seed)
+    quats = rng.normal(size=(n, 4))
+    quats /= np.linalg.norm(quats, axis=1, keepdims=True)
+    return GaussianScene(
+        means=rng.normal(size=(n, 3)),
+        scales=rng.uniform(0.01, 0.2, size=(n, 3)),
+        quats=quats,
+        opacities=rng.uniform(0.1, 1.0, size=n),
+        sh_coeffs=rng.normal(size=(n, sh_k, 3)) * 0.1,
+        name="test",
+    )
+
+
+class TestRotations:
+    def test_identity_quaternion(self):
+        rot = quaternions_to_rotations(np.array([[1.0, 0, 0, 0]]))
+        assert np.allclose(rot[0], np.eye(3))
+
+    def test_orthonormal(self, rng):
+        quats = rng.normal(size=(25, 4))
+        rot = quaternions_to_rotations(quats)
+        eye = rot @ rot.transpose(0, 2, 1)
+        assert np.allclose(eye, np.eye(3)[None], atol=1e-10)
+        assert np.allclose(np.linalg.det(rot), 1.0)
+
+    def test_unnormalized_quats_accepted(self):
+        rot_a = quaternions_to_rotations(np.array([[2.0, 0, 0, 0]]))
+        assert np.allclose(rot_a[0], np.eye(3))
+
+    def test_zero_quaternion_rejected(self):
+        with pytest.raises(ValueError):
+            quaternions_to_rotations(np.zeros((1, 4)))
+
+
+class TestCovariances:
+    def test_diagonal_for_identity_rotation(self):
+        scales = np.array([[1.0, 2.0, 3.0]])
+        cov = build_covariances(scales, np.array([[1.0, 0, 0, 0]]))
+        assert np.allclose(cov[0], np.diag([1.0, 4.0, 9.0]))
+
+    def test_positive_definite(self, rng):
+        scales = rng.uniform(0.05, 1.0, size=(30, 3))
+        quats = rng.normal(size=(30, 4))
+        cov = build_covariances(scales, quats)
+        eig = np.linalg.eigvalsh(cov)
+        assert (eig > 0).all()
+
+    def test_determinant_is_scale_product_squared(self, rng):
+        scales = rng.uniform(0.1, 1.0, size=(10, 3))
+        quats = rng.normal(size=(10, 4))
+        cov = build_covariances(scales, quats)
+        assert np.allclose(np.linalg.det(cov), np.prod(scales, axis=1) ** 2)
+
+
+class TestScene:
+    def test_len_and_properties(self):
+        scene = _make_scene(12)
+        assert len(scene) == 12
+        assert scene.num_gaussians == 12
+        assert scene.sh_degree == 1
+        assert scene.feature_table_bytes() == 12 * FEATURE_TABLE_ENTRY_BYTES
+
+    def test_covariances_cached(self):
+        scene = _make_scene(5)
+        assert scene.covariances() is scene.covariances()
+
+    def test_subset_preserves_order(self):
+        scene = _make_scene(10)
+        sub = scene.subset(np.array([3, 1, 7]))
+        assert len(sub) == 3
+        assert np.allclose(sub.means[0], scene.means[3])
+        assert np.allclose(sub.means[1], scene.means[1])
+
+    def test_bounding_box(self):
+        scene = _make_scene(50)
+        lo, hi = scene.bounding_box()
+        assert (lo <= scene.means).all() and (scene.means <= hi).all()
+
+    def test_concatenate(self):
+        a, b = _make_scene(4, seed=1), _make_scene(6, seed=2)
+        merged = GaussianScene.concatenate([a, b])
+        assert len(merged) == 10
+        assert np.allclose(merged.means[:4], a.means)
+
+    def test_concatenate_rejects_mixed_degrees(self):
+        a = _make_scene(4, sh_k=1)
+        b = _make_scene(4, sh_k=4)
+        with pytest.raises(ValueError):
+            GaussianScene.concatenate([a, b])
+
+    def test_validation_rejects_bad_scales(self):
+        scene = _make_scene(3)
+        with pytest.raises(ValueError):
+            GaussianScene(
+                means=scene.means,
+                scales=np.zeros((3, 3)),
+                quats=scene.quats,
+                opacities=scene.opacities,
+                sh_coeffs=scene.sh_coeffs,
+            )
+
+    def test_validation_rejects_bad_opacities(self):
+        scene = _make_scene(3)
+        bad = scene.opacities.copy()
+        bad[0] = 1.5
+        with pytest.raises(ValueError):
+            GaussianScene(
+                means=scene.means,
+                scales=scene.scales,
+                quats=scene.quats,
+                opacities=bad,
+                sh_coeffs=scene.sh_coeffs,
+            )
+
+    def test_validation_rejects_misaligned_arrays(self):
+        scene = _make_scene(3)
+        with pytest.raises(ValueError):
+            GaussianScene(
+                means=scene.means,
+                scales=scene.scales[:2],
+                quats=scene.quats,
+                opacities=scene.opacities,
+                sh_coeffs=scene.sh_coeffs,
+            )

@@ -1,0 +1,90 @@
+"""Unit tests for image-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.image import lpips_proxy, mse, psnr, quality_report, ssim, to_luminance
+
+
+@pytest.fixture()
+def image(rng):
+    return rng.random((36, 48, 3))
+
+
+class TestPsnr:
+    def test_identical_capped(self, image):
+        assert psnr(image, image) == 99.0
+
+    def test_known_value(self):
+        a = np.zeros((10, 10))
+        b = np.full((10, 10), 0.1)
+        assert psnr(a, b) == pytest.approx(20.0)
+
+    def test_monotone_in_noise(self, image, rng):
+        small = np.clip(image + rng.normal(0, 0.01, image.shape), 0, 1)
+        large = np.clip(image + rng.normal(0, 0.1, image.shape), 0, 1)
+        assert psnr(image, small) > psnr(image, large)
+
+    def test_shape_mismatch(self, image):
+        with pytest.raises(ValueError):
+            psnr(image, image[:10])
+
+    def test_mse(self):
+        assert mse(np.zeros((4, 4)), np.ones((4, 4))) == 1.0
+
+
+class TestLuminance:
+    def test_weights_sum_to_one(self):
+        white = np.ones((2, 2, 3))
+        assert np.allclose(to_luminance(white), 1.0)
+
+    def test_grayscale_passthrough(self):
+        gray = np.random.default_rng(0).random((4, 4))
+        assert np.array_equal(to_luminance(gray), gray)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            to_luminance(np.zeros((2, 2, 4)))
+
+
+class TestSsim:
+    def test_identical_is_one(self, image):
+        assert ssim(image, image) == pytest.approx(1.0)
+
+    def test_decreases_with_noise(self, image, rng):
+        noisy = np.clip(image + rng.normal(0, 0.2, image.shape), 0, 1)
+        assert ssim(image, noisy) < 0.95
+
+    def test_symmetric(self, image, rng):
+        other = np.clip(image + rng.normal(0, 0.05, image.shape), 0, 1)
+        assert ssim(image, other) == pytest.approx(ssim(other, image))
+
+
+class TestLpipsProxy:
+    def test_identical_is_zero(self, image):
+        assert lpips_proxy(image, image) == 0.0
+
+    def test_monotone_in_structural_noise(self, image, rng):
+        small = np.clip(image + rng.normal(0, 0.02, image.shape), 0, 1)
+        large = np.clip(image + rng.normal(0, 0.2, image.shape), 0, 1)
+        assert lpips_proxy(image, small) < lpips_proxy(image, large)
+
+    def test_sensitive_to_popping_artifacts(self, rng):
+        # A localized patch swap (the artifact bad sorting causes) must
+        # register even though global statistics barely change.
+        base = rng.random((64, 64, 3)) * 0.2 + 0.4
+        popped = base.copy()
+        popped[10:20, 10:20] = base[30:40, 30:40]
+        assert lpips_proxy(base, popped) > 0.0
+
+    def test_small_images(self):
+        a = np.zeros((4, 4, 3))
+        assert lpips_proxy(a, a) == 0.0
+
+
+class TestQualityReport:
+    def test_bundle(self, image):
+        report = quality_report(image, image)
+        assert report["psnr"] == 99.0
+        assert report["ssim"] == pytest.approx(1.0)
+        assert report["lpips"] == 0.0

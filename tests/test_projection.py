@@ -1,0 +1,96 @@
+"""Unit tests for EWA projection / feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.culling import frustum_cull
+from repro.pipeline.projection import (
+    COV2D_DILATION,
+    conic_from_cov2d,
+    project_gaussians,
+    splat_radii,
+)
+
+
+class TestConic:
+    def test_inverse_of_isotropic(self):
+        cov = np.array([[[4.0, 0.0], [0.0, 4.0]]])
+        conic, valid = conic_from_cov2d(cov)
+        assert valid[0]
+        assert np.allclose(conic[0], [0.25, 0.0, 0.25])
+
+    def test_degenerate_flagged_invalid(self):
+        cov = np.array([[[1.0, 1.0], [1.0, 1.0]]])  # det == 0
+        _, valid = conic_from_cov2d(cov)
+        assert not valid[0]
+
+    def test_matches_matrix_inverse(self, rng):
+        mats = rng.normal(size=(20, 2, 2))
+        cov = mats @ mats.transpose(0, 2, 1) + 0.1 * np.eye(2)
+        conic, valid = conic_from_cov2d(cov)
+        assert valid.all()
+        inv = np.linalg.inv(cov)
+        assert np.allclose(conic[:, 0], inv[:, 0, 0])
+        assert np.allclose(conic[:, 1], inv[:, 0, 1])
+        assert np.allclose(conic[:, 2], inv[:, 1, 1])
+
+
+class TestRadii:
+    def test_isotropic_radius(self):
+        cov = np.array([[[4.0, 0.0], [0.0, 4.0]]])
+        assert splat_radii(cov)[0] == pytest.approx(np.ceil(3.0 * 2.0))
+
+    def test_major_axis_dominates(self):
+        cov = np.array([[[100.0, 0.0], [0.0, 1.0]]])
+        assert splat_radii(cov)[0] == pytest.approx(30.0)
+
+
+class TestProjection:
+    def test_projection_basic(self, small_scene, camera):
+        culled = frustum_cull(small_scene, camera)
+        proj = project_gaussians(small_scene, camera, culled.visible_ids)
+        assert len(proj) > 0
+        assert len(proj) <= culled.num_visible
+        assert (proj.depths > camera.near).all()
+        assert (proj.radii > 0).all()
+        assert (proj.opacities > 0).all()
+        assert np.isfinite(proj.means2d).all()
+        assert np.isfinite(proj.conic).all()
+
+    def test_ids_are_global(self, small_scene, camera):
+        culled = frustum_cull(small_scene, camera)
+        proj = project_gaussians(small_scene, camera, culled.visible_ids)
+        assert set(proj.ids).issubset(set(culled.visible_ids))
+
+    def test_default_projects_everything_visible(self, small_scene, camera):
+        proj = project_gaussians(small_scene, camera)
+        culled = frustum_cull(small_scene, camera)
+        proj_culled = project_gaussians(small_scene, camera, culled.visible_ids)
+        # Projecting everything keeps at least the culled set.
+        assert set(proj_culled.ids).issubset(set(proj.ids))
+
+    def test_dilation_floor_on_cov2d(self, small_scene, camera):
+        proj = project_gaussians(small_scene, camera)
+        assert (proj.cov2d[:, 0, 0] >= COV2D_DILATION - 1e-12).all()
+        assert (proj.cov2d[:, 1, 1] >= COV2D_DILATION - 1e-12).all()
+
+    def test_resolution_scales_geometry(self, small_scene, camera):
+        proj_lo = project_gaussians(small_scene, camera)
+        cam_hi = camera.with_resolution(camera.width * 2, camera.height * 2)
+        proj_hi = project_gaussians(small_scene, camera=cam_hi)
+        shared, lo_idx, hi_idx = np.intersect1d(
+            proj_lo.ids, proj_hi.ids, return_indices=True
+        )
+        assert shared.size > 0
+        ratio = proj_hi.means2d[hi_idx] / np.maximum(proj_lo.means2d[lo_idx], 1e-9)
+        # Screen positions roughly double (up to principal point offsets).
+        assert np.median(ratio) == pytest.approx(2.0, rel=0.05)
+
+    def test_depths_match_camera_space(self, small_scene, camera):
+        proj = project_gaussians(small_scene, camera)
+        cam_points = camera.transform_points(small_scene.means[proj.ids])
+        assert np.allclose(proj.depths, cam_points[:, 2])
+
+    def test_colors_nonnegative(self, small_scene, camera):
+        proj = project_gaussians(small_scene, camera)
+        assert (proj.colors >= 0).all()

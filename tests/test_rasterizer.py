@@ -1,0 +1,160 @@
+"""Unit tests for the tile-based alpha-blending rasterizer."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.framebuffer import Framebuffer
+from repro.pipeline.projection import ProjectedGaussians, project_gaussians
+from repro.pipeline.rasterizer import rasterize, rasterize_tile
+from repro.pipeline.sorting import sort_tiles
+from repro.pipeline.tiling import TileGrid, assign_to_tiles
+
+
+def _single_splat(x, y, radius=4.0, opacity=0.9, color=(1.0, 0.0, 0.0), depth=1.0, gid=0):
+    sigma2 = (radius / 3.0) ** 2
+    return ProjectedGaussians(
+        ids=np.array([gid], dtype=np.int64),
+        means2d=np.array([[x, y]], dtype=np.float64),
+        cov2d=np.array([[[sigma2, 0.0], [0.0, sigma2]]]),
+        conic=np.array([[1.0 / sigma2, 0.0, 1.0 / sigma2]]),
+        depths=np.array([depth], dtype=np.float64),
+        radii=np.array([radius], dtype=np.float64),
+        colors=np.array([color], dtype=np.float64),
+        opacities=np.array([opacity], dtype=np.float64),
+    )
+
+
+def _merge(*projs):
+    return ProjectedGaussians(
+        ids=np.concatenate([p.ids for p in projs]),
+        means2d=np.concatenate([p.means2d for p in projs]),
+        cov2d=np.concatenate([p.cov2d for p in projs]),
+        conic=np.concatenate([p.conic for p in projs]),
+        depths=np.concatenate([p.depths for p in projs]),
+        radii=np.concatenate([p.radii for p in projs]),
+        colors=np.concatenate([p.colors for p in projs]),
+        opacities=np.concatenate([p.opacities for p in projs]),
+    )
+
+
+class TestFramebuffer:
+    def test_initial_state(self):
+        fb = Framebuffer(width=8, height=4)
+        assert fb.color.shape == (4, 8, 3)
+        assert np.all(fb.transmittance == 1.0)
+        assert fb.num_pixels == 32
+
+    def test_finalize_composites_background(self):
+        fb = Framebuffer(width=2, height=2, background=(0.0, 1.0, 0.0))
+        image = fb.finalize()
+        assert np.allclose(image[..., 1], 1.0)
+        assert np.allclose(image[..., 0], 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Framebuffer(width=0, height=2)
+
+
+class TestRasterizeTile:
+    def test_splat_renders_at_center(self):
+        fb = Framebuffer(width=16, height=16)
+        proj = _single_splat(8.0, 8.0)
+        valid, stats = rasterize_tile(fb, proj, np.array([0]), (0, 0, 16, 16))
+        assert valid[0]
+        image = fb.finalize()
+        assert image[8, 8, 0] > 0.5  # red splat visible
+        assert stats.blend_ops > 0
+
+    def test_front_splat_occludes_back(self):
+        front = _single_splat(8.0, 8.0, opacity=0.95, color=(1, 0, 0), depth=1.0, gid=0)
+        back = _single_splat(8.0, 8.0, opacity=0.95, color=(0, 0, 1), depth=2.0, gid=1)
+        proj = _merge(front, back)
+        fb = Framebuffer(width=16, height=16)
+        rasterize_tile(fb, proj, np.array([0, 1]), (0, 0, 16, 16))
+        image = fb.finalize()
+        assert image[8, 8, 0] > image[8, 8, 2]
+
+    def test_order_matters(self):
+        a = _single_splat(8.0, 8.0, opacity=0.9, color=(1, 0, 0), depth=1.0, gid=0)
+        b = _single_splat(8.0, 8.0, opacity=0.9, color=(0, 0, 1), depth=2.0, gid=1)
+        proj = _merge(a, b)
+        fb1 = Framebuffer(width=16, height=16)
+        rasterize_tile(fb1, proj, np.array([0, 1]), (0, 0, 16, 16))
+        fb2 = Framebuffer(width=16, height=16)
+        rasterize_tile(fb2, proj, np.array([1, 0]), (0, 0, 16, 16))
+        assert not np.allclose(fb1.finalize(), fb2.finalize())
+
+    def test_early_termination(self):
+        # Stack many opaque splats: the loop must stop early.
+        splats = [
+            _single_splat(8.0, 8.0, radius=30.0, opacity=0.99, depth=float(i + 1), gid=i)
+            for i in range(50)
+        ]
+        proj = _merge(*splats)
+        fb = Framebuffer(width=16, height=16)
+        _, stats = rasterize_tile(fb, proj, np.arange(50), (0, 0, 16, 16))
+        assert stats.early_terminated_tiles == 1
+        assert stats.gaussians_processed < 50
+
+    def test_valid_bits_geometric_even_after_termination(self):
+        splats = [
+            _single_splat(8.0, 8.0, radius=30.0, opacity=0.99, depth=float(i + 1), gid=i)
+            for i in range(30)
+        ]
+        proj = _merge(*splats)
+        fb = Framebuffer(width=16, height=16)
+        valid, stats = rasterize_tile(fb, proj, np.arange(30), (0, 0, 16, 16))
+        # Every splat geometrically intersects the tile: all valid bits set
+        # even though blending terminated early.
+        assert valid.all()
+
+    def test_nonintersecting_splat_invalid(self):
+        proj = _single_splat(100.0, 100.0, radius=3.0)
+        fb = Framebuffer(width=16, height=16)
+        valid, _ = rasterize_tile(fb, proj, np.array([0]), (0, 0, 16, 16))
+        assert not valid[0]
+
+    def test_empty_rows(self):
+        fb = Framebuffer(width=16, height=16)
+        valid, stats = rasterize_tile(
+            fb, _single_splat(0, 0), np.empty(0, dtype=np.int64), (0, 0, 16, 16)
+        )
+        assert valid.shape == (0,)
+        assert stats.blend_ops == 0
+
+    def test_subtile_skips_work(self):
+        # A tiny splat in one corner: with subtiles, blend ops stay small.
+        proj = _single_splat(2.0, 2.0, radius=2.0)
+        fb_sub = Framebuffer(width=64, height=64)
+        _, stats_sub = rasterize_tile(fb_sub, proj, np.array([0]), (0, 0, 64, 64), subtile_size=8)
+        assert stats_sub.subtile_tests == 64
+        assert stats_sub.subtile_hits < 4
+
+
+class TestRasterizeFrame:
+    def test_full_frame(self, small_scene, camera):
+        proj = project_gaussians(small_scene, camera)
+        grid = TileGrid.for_camera(camera, 16)
+        assignment = assign_to_tiles(proj, grid)
+        result = rasterize(sort_tiles(assignment), proj, grid)
+        assert result.image.shape == (camera.height, camera.width, 3)
+        assert result.image.min() >= 0.0 and result.image.max() <= 1.0
+        assert result.image.mean() > 0.01  # something rendered
+        assert result.stats.gaussians_processed > 0
+
+    def test_valid_bits_reported_per_nonempty_tile(self, small_scene, camera):
+        proj = project_gaussians(small_scene, camera)
+        grid = TileGrid.for_camera(camera, 16)
+        assignment = assign_to_tiles(proj, grid)
+        sorted_tiles = sort_tiles(assignment)
+        result = rasterize(sorted_tiles, proj, grid)
+        for t, valid in result.valid_bits.items():
+            assert valid.shape[0] == sorted_tiles.tile_rows[t].shape[0]
+
+    def test_background(self, small_scene, camera):
+        proj = project_gaussians(small_scene, camera)
+        grid = TileGrid.for_camera(camera, 16)
+        assignment = assign_to_tiles(proj, grid)
+        result = rasterize(sort_tiles(assignment), proj, grid, background=(1.0, 1.0, 1.0))
+        # Uncovered pixels take the background.
+        assert result.image.max() == pytest.approx(1.0)

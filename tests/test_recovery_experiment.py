@@ -1,0 +1,45 @@
+"""Tests for the accuracy-restoration experiment (section 4.3)."""
+
+import pytest
+
+from repro.experiments import recovery
+
+
+@pytest.fixture(scope="module")
+def result():
+    return recovery.run(num_frames=12, jump_frame=5, num_gaussians=1200,
+                        width=160, height=90)
+
+
+class TestJumpTrajectory:
+    def test_jump_is_discontinuous(self):
+        import numpy as np
+
+        cameras = recovery.jump_trajectory(
+            "family", num_frames=10, jump_frame=4, jump_degrees=10.0,
+            width=160, height=90,
+        )
+        steps = [
+            np.linalg.norm(b.position - a.position)
+            for a, b in zip(cameras, cameras[1:])
+        ]
+        # The jump step dwarfs the regular orbit step.
+        assert steps[3] > 5 * np.median(steps)
+
+
+class TestRecovery:
+    def test_incoming_burst_at_jump(self, result):
+        rows = result.rows
+        jump = next(r for r in rows if r["is_jump"])
+        regular = [r["incoming"] for r in rows if not r["is_jump"] and r["frame"] > 0]
+        assert jump["incoming"] > 4 * max(regular)
+
+    def test_quality_recovers(self, result):
+        assert recovery.recovery_frames(result, threshold_db=45.0) <= 3
+
+    def test_no_catastrophic_popping(self, result):
+        assert min(r["psnr_vs_exact"] for r in result.rows[1:]) > 35.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recovery.run(num_frames=6, jump_frame=5)

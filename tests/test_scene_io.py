@@ -1,0 +1,52 @@
+"""Tests for scene serialization."""
+
+import numpy as np
+import pytest
+
+from repro.scene import load_scene
+from repro.scene.io import load_scene_file, save_scene
+
+
+class TestRoundTrip:
+    def test_exact_roundtrip(self, tmp_path, small_scene):
+        path = tmp_path / "scene.npz"
+        save_scene(path, small_scene)
+        loaded = load_scene_file(path)
+        assert loaded.name == small_scene.name
+        assert np.array_equal(loaded.means, small_scene.means)
+        assert np.array_equal(loaded.scales, small_scene.scales)
+        assert np.array_equal(loaded.quats, small_scene.quats)
+        assert np.array_equal(loaded.opacities, small_scene.opacities)
+        assert np.array_equal(loaded.sh_coeffs, small_scene.sh_coeffs)
+
+    def test_loaded_scene_renders_identically(self, tmp_path, camera):
+        from repro.pipeline import Renderer
+
+        scene = load_scene("horse", num_gaussians=200)
+        path = tmp_path / "horse.npz"
+        save_scene(path, scene)
+        loaded = load_scene_file(path)
+        a = Renderer(scene).render(camera)
+        b = Renderer(loaded).render(camera)
+        assert np.array_equal(a.image, b.image)
+
+    def test_rejects_non_scene_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ValueError, match="missing"):
+            load_scene_file(path)
+
+    def test_rejects_future_format(self, tmp_path, tiny_scene):
+        path = tmp_path / "future.npz"
+        np.savez(
+            path,
+            means=tiny_scene.means,
+            scales=tiny_scene.scales,
+            quats=tiny_scene.quats,
+            opacities=tiny_scene.opacities,
+            sh_coeffs=tiny_scene.sh_coeffs,
+            name=np.array("x"),
+            format_version=np.array(99),
+        )
+        with pytest.raises(ValueError, match="format version"):
+            load_scene_file(path)

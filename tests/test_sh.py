@@ -1,0 +1,100 @@
+"""Unit tests for spherical harmonics evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.scene.sh import (
+    SH_C0,
+    eval_sh_color,
+    normalize_directions,
+    num_sh_coeffs,
+    rgb_to_sh_dc,
+    sh_basis,
+)
+
+
+class TestNumCoeffs:
+    def test_degrees(self):
+        assert [num_sh_coeffs(d) for d in range(4)] == [1, 4, 9, 16]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            num_sh_coeffs(4)
+        with pytest.raises(ValueError):
+            num_sh_coeffs(-1)
+
+
+class TestBasis:
+    def test_degree0_is_constant(self):
+        dirs = normalize_directions(np.random.default_rng(0).normal(size=(10, 3)))
+        basis = sh_basis(dirs, 0)
+        assert basis.shape == (10, 1)
+        assert np.allclose(basis, SH_C0)
+
+    def test_shapes_per_degree(self):
+        dirs = np.array([[0.0, 0.0, 1.0]])
+        for degree in range(4):
+            assert sh_basis(dirs, degree).shape == (1, (degree + 1) ** 2)
+
+    def test_band1_is_linear_in_direction(self):
+        dirs = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+        basis = sh_basis(dirs, 1)
+        # Band-1 terms: (-C1*y, C1*z, -C1*x)
+        assert basis[0, 3] < 0 and basis[0, 1] == 0 and basis[0, 2] == 0
+        assert basis[1, 1] < 0 and basis[1, 2] == 0 and basis[1, 3] == 0
+        assert basis[2, 2] > 0 and basis[2, 1] == 0 and basis[2, 3] == 0
+
+    def test_rotational_invariance_of_band_energy(self, rng):
+        # The summed squared basis within each band is direction-independent.
+        dirs = normalize_directions(rng.normal(size=(50, 3)))
+        basis = sh_basis(dirs, 2)
+        band1 = np.sum(basis[:, 1:4] ** 2, axis=1)
+        band2 = np.sum(basis[:, 4:9] ** 2, axis=1)
+        assert np.allclose(band1, band1[0], rtol=1e-9)
+        assert np.allclose(band2, band2[0], rtol=1e-9)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            sh_basis(np.zeros((3, 2)), 1)
+
+
+class TestEvalColor:
+    def test_dc_roundtrip(self):
+        rgb = np.array([[0.2, 0.5, 0.9], [1.0, 0.0, 0.3]])
+        sh = np.zeros((2, 1, 3))
+        sh[:, 0, :] = rgb_to_sh_dc(rgb)
+        dirs = np.array([[0.0, 0.0, 1.0], [1.0, 0.0, 0.0]])
+        out = eval_sh_color(sh, dirs)
+        assert np.allclose(out, rgb, atol=1e-12)
+
+    def test_view_dependence_with_band1(self):
+        sh = np.zeros((1, 4, 3))
+        sh[0, 0, :] = rgb_to_sh_dc(np.array([[0.5, 0.5, 0.5]]))
+        sh[0, 2, 0] = 0.3  # z-dependent red channel
+        up = eval_sh_color(np.repeat(sh, 2, axis=0), np.array([[0, 0, 1.0], [0, 0, -1.0]]))
+        assert up[0, 0] > up[1, 0]
+        assert np.allclose(up[:, 1:], 0.5)
+
+    def test_colors_clamped_non_negative(self):
+        sh = np.full((1, 1, 3), -10.0)
+        out = eval_sh_color(sh, np.array([[0.0, 0.0, 1.0]]))
+        assert (out >= 0).all()
+
+    def test_degree_cannot_exceed_stored(self):
+        sh = np.zeros((1, 4, 3))
+        with pytest.raises(ValueError):
+            eval_sh_color(sh, np.array([[0.0, 0.0, 1.0]]), degree=2)
+
+    def test_rejects_non_square_coeff_count(self):
+        with pytest.raises(ValueError):
+            eval_sh_color(np.zeros((1, 5, 3)), np.array([[0.0, 0.0, 1.0]]))
+
+
+class TestNormalizeDirections:
+    def test_unit_length(self, rng):
+        out = normalize_directions(rng.normal(size=(20, 3)) * 7)
+        assert np.allclose(np.linalg.norm(out, axis=1), 1.0)
+
+    def test_zero_vector_maps_to_z(self):
+        out = normalize_directions(np.zeros((1, 3)))
+        assert np.allclose(out, [[0.0, 0.0, 1.0]])

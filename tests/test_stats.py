@@ -1,0 +1,65 @@
+"""Unit tests for statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import (
+    empirical_cdf,
+    geometric_mean,
+    harmonic_mean,
+    percentile_summary,
+    relative_error,
+)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestHarmonicMean:
+    def test_basic(self):
+        assert harmonic_mean([2.0, 2.0]) == pytest.approx(2.0)
+        assert harmonic_mean([1.0, 3.0]) == pytest.approx(1.5)
+
+    def test_dominated_by_small_values(self):
+        assert harmonic_mean([100.0, 1.0]) < 2.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+        with pytest.raises(ValueError):
+            harmonic_mean([-1.0])
+
+
+class TestPercentileSummary:
+    def test_keys_and_order(self, rng):
+        summary = percentile_summary(rng.random(1000))
+        assert list(summary) == [50, 90, 95, 99]
+        assert summary[50] <= summary[90] <= summary[99]
+
+    def test_empty(self):
+        assert percentile_summary([]) == {50: 0.0, 90: 0.0, 95: 0.0, 99: 0.0}
+
+
+class TestEmpiricalCdf:
+    def test_values(self):
+        cdf = empirical_cdf([1.0, 2.0, 3.0, 4.0], [0.5, 2.0, 5.0])
+        assert np.allclose(cdf, [0.0, 0.5, 1.0])
+
+    def test_empty_sample(self):
+        assert np.allclose(empirical_cdf([], [1.0, 2.0]), 0.0)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == float("inf")

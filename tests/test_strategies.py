@@ -1,0 +1,127 @@
+"""Unit tests for the baseline sorting strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import (
+    BackgroundSortStrategy,
+    FullResortStrategy,
+    HierarchicalSortStrategy,
+    NeoSortStrategy,
+    PeriodicSortStrategy,
+    make_strategy,
+)
+from repro.metrics.image import psnr
+from repro.pipeline.renderer import Renderer
+from repro.pipeline.sorting import is_depth_sorted
+
+
+class TestFactory:
+    def test_all_names(self):
+        assert isinstance(make_strategy("full"), FullResortStrategy)
+        assert isinstance(make_strategy("periodic", period=5), PeriodicSortStrategy)
+        assert isinstance(make_strategy("background"), BackgroundSortStrategy)
+        assert isinstance(make_strategy("hierarchical"), HierarchicalSortStrategy)
+        assert isinstance(make_strategy("NEO"), NeoSortStrategy)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            make_strategy("quantum")
+
+
+class TestFullResort:
+    def test_exact_order_and_traffic(self, small_scene, camera_path):
+        strategy = FullResortStrategy()
+        records = Renderer(small_scene, strategy=strategy).render_sequence(camera_path)
+        for record in records:
+            for depths in record.sorted_tiles.tile_depths:
+                assert is_depth_sorted(depths)
+        assert len(strategy.frame_traffic) == len(camera_path)
+        assert strategy.total_traffic().total_bytes > 0
+
+
+class TestPeriodic:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicSortStrategy(period=0)
+
+    def test_skip_frames_cost_nothing(self, small_scene, camera_path):
+        strategy = PeriodicSortStrategy(period=3)
+        Renderer(small_scene, strategy=strategy).render_sequence(camera_path)
+        costs = [t.total_bytes for t in strategy.frame_traffic]
+        assert costs[0] > 0
+        assert costs[1] == 0
+        assert costs[2] == 0
+        assert costs[3] > 0
+
+    def test_quality_decays_between_refreshes(self, small_scene):
+        from repro.scene import TrajectoryConfig, orbit_trajectory
+
+        config = TrajectoryConfig(num_frames=8, width=160, height=90, speed=4.0)
+        cameras = orbit_trajectory(np.zeros(3), 6.0, config, height_offset=1.2)
+        reference = Renderer(small_scene).render_sequence(cameras)
+        strategy = PeriodicSortStrategy(period=8)
+        records = Renderer(small_scene, strategy=strategy).render_sequence(cameras)
+        q1 = psnr(reference[1].image, records[1].image)
+        q7 = psnr(reference[7].image, records[7].image)
+        assert q7 < q1  # error accumulates away from the refresh
+
+
+class TestBackground:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackgroundSortStrategy(lag=0)
+
+    def test_sustained_traffic(self, small_scene, camera_path):
+        strategy = BackgroundSortStrategy(lag=2)
+        Renderer(small_scene, strategy=strategy).render_sequence(camera_path)
+        assert all(t.total_bytes > 0 for t in strategy.frame_traffic)
+
+    def test_uses_lagged_ordering(self, small_scene, camera_path):
+        lagged = BackgroundSortStrategy(lag=2)
+        records = Renderer(small_scene, strategy=lagged).render_sequence(camera_path)
+        reference = Renderer(small_scene).render_sequence(camera_path)
+        # After warm-up the rendered order comes from an older viewpoint:
+        # images differ from the exact render (but not wildly).
+        diffs = [
+            np.abs(ref.image - rec.image).max()
+            for ref, rec in zip(reference[3:], records[3:])
+        ]
+        assert max(diffs) > 0.0
+
+    def test_worse_quality_than_neo(self, small_scene, camera_path):
+        reference = Renderer(small_scene).render_sequence(camera_path)
+        bg_records = Renderer(
+            small_scene, strategy=BackgroundSortStrategy(lag=3)
+        ).render_sequence(camera_path)
+        neo_records = Renderer(
+            small_scene, strategy=NeoSortStrategy()
+        ).render_sequence(camera_path)
+        bg_q = np.mean([psnr(a.image, b.image) for a, b in zip(reference[3:], bg_records[3:])])
+        neo_q = np.mean([psnr(a.image, b.image) for a, b in zip(reference[3:], neo_records[3:])])
+        assert neo_q > bg_q
+
+
+class TestHierarchical:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HierarchicalSortStrategy(num_buckets=1)
+
+    def test_order_is_exact(self, small_scene, camera):
+        strategy = HierarchicalSortStrategy()
+        record = Renderer(small_scene, strategy=strategy).render(camera)
+        for depths in record.sorted_tiles.tile_depths:
+            assert is_depth_sorted(depths)
+
+    def test_traffic_twice_neo_reorder(self, small_scene, camera_path):
+        hier = HierarchicalSortStrategy()
+        Renderer(small_scene, strategy=hier).render_sequence(camera_path)
+        neo = NeoSortStrategy()
+        Renderer(small_scene, strategy=neo).render_sequence(camera_path)
+        # Hierarchical streams the table twice per frame; Neo once (plus
+        # incoming handling), so hierarchical carries clearly more traffic.
+        assert (
+            hier.total_traffic().total_bytes
+            > 1.5 * neo.total_traffic().table_read
+            + neo.total_traffic().table_write
+        )

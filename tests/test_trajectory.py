@@ -1,0 +1,122 @@
+"""Unit tests for camera trajectory generators."""
+
+import numpy as np
+import pytest
+
+from repro.scene.trajectory import (
+    TrajectoryConfig,
+    dolly_trajectory,
+    flythrough_trajectory,
+    iter_frame_pairs,
+    orbit_trajectory,
+    pan_trajectory,
+)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = TrajectoryConfig()
+        assert config.num_frames == 60
+        assert config.speed == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrajectoryConfig(num_frames=0)
+        with pytest.raises(ValueError):
+            TrajectoryConfig(speed=0.0)
+
+
+class TestOrbit:
+    def test_count_and_radius(self):
+        config = TrajectoryConfig(num_frames=10)
+        cams = orbit_trajectory(np.zeros(3), radius=5.0, config=config)
+        assert len(cams) == 10
+        for cam in cams:
+            assert np.linalg.norm(cam.position) == pytest.approx(5.0)
+
+    def test_speed_scales_angular_step(self):
+        slow = orbit_trajectory(np.zeros(3), 5.0, TrajectoryConfig(num_frames=3, speed=1.0))
+        fast = orbit_trajectory(np.zeros(3), 5.0, TrajectoryConfig(num_frames=3, speed=4.0))
+        step_slow = np.linalg.norm(slow[1].position - slow[0].position)
+        step_fast = np.linalg.norm(fast[1].position - fast[0].position)
+        assert step_fast > 3.5 * step_slow
+
+    def test_looks_at_center(self):
+        cams = orbit_trajectory(np.array([1.0, 2.0, 3.0]), 4.0, TrajectoryConfig(num_frames=4))
+        for cam in cams:
+            uv = cam.project(cam.transform_points(np.array([[1.0, 2.0, 3.0]])))
+            assert uv[0, 0] == pytest.approx(cam.cx, abs=1e-6)
+            assert uv[0, 1] == pytest.approx(cam.cy, abs=1e-6)
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            orbit_trajectory(np.zeros(3), 0.0, TrajectoryConfig(num_frames=2))
+
+
+class TestDolly:
+    def test_moves_from_start_to_end(self):
+        cams = dolly_trajectory(
+            np.array([0.0, 0.0, -10.0]),
+            np.array([0.0, 0.0, -2.0]),
+            np.zeros(3),
+            TrajectoryConfig(num_frames=5),
+        )
+        assert np.allclose(cams[0].position, [0, 0, -10])
+        assert np.allclose(cams[-1].position, [0, 0, -2], atol=1e-9)
+
+    def test_speed_clamps_at_path_end(self):
+        cams = dolly_trajectory(
+            np.array([0.0, 0.0, -10.0]),
+            np.array([0.0, 0.0, -2.0]),
+            np.zeros(3),
+            TrajectoryConfig(num_frames=5, speed=10.0),
+        )
+        assert np.allclose(cams[-1].position, [0, 0, -2], atol=1e-9)
+
+
+class TestPan:
+    def test_eye_fixed(self):
+        eye = np.array([1.0, 2.0, 3.0])
+        cams = pan_trajectory(eye, np.array([5.0, 2.0, 3.0]), TrajectoryConfig(num_frames=6))
+        for cam in cams:
+            assert np.allclose(cam.position, eye, atol=1e-9)
+
+    def test_view_direction_rotates(self):
+        cams = pan_trajectory(
+            np.zeros(3), np.array([5.0, 0.0, 0.0]),
+            TrajectoryConfig(num_frames=2), degrees_per_frame=10.0,
+        )
+        fwd0 = cams[0].world_to_camera[2, :3]
+        fwd1 = cams[1].world_to_camera[2, :3]
+        angle = np.degrees(np.arccos(np.clip(fwd0 @ fwd1, -1, 1)))
+        assert angle == pytest.approx(10.0, abs=0.1)
+
+    def test_coincident_target_rejected(self):
+        with pytest.raises(ValueError):
+            pan_trajectory(np.zeros(3), np.zeros(3), TrajectoryConfig(num_frames=2))
+
+
+class TestFlythrough:
+    def test_follows_waypoints(self):
+        waypoints = np.array([[0.0, 5.0, 0.0], [10.0, 5.0, 0.0], [10.0, 5.0, 10.0]])
+        cams = flythrough_trajectory(waypoints, TrajectoryConfig(num_frames=9))
+        assert len(cams) == 9
+        assert np.allclose(cams[0].position, waypoints[0])
+        # Positions stay on the polyline's bounding box.
+        for cam in cams:
+            assert (cam.position >= waypoints.min(axis=0) - 1e-9).all()
+            assert (cam.position <= waypoints.max(axis=0) + 1e-9).all()
+
+    def test_rejects_degenerate_path(self):
+        with pytest.raises(ValueError):
+            flythrough_trajectory(np.zeros((3, 3)), TrajectoryConfig(num_frames=3))
+        with pytest.raises(ValueError):
+            flythrough_trajectory(np.zeros((1, 3)), TrajectoryConfig(num_frames=3))
+
+
+class TestIterFramePairs:
+    def test_pairs(self, camera_path):
+        pairs = list(iter_frame_pairs(camera_path))
+        assert len(pairs) == len(camera_path) - 1
+        assert pairs[0][0] is camera_path[0]
+        assert pairs[0][1] is camera_path[1]

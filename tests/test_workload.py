@@ -1,0 +1,125 @@
+"""Unit tests for the hardware workload model."""
+
+import numpy as np
+import pytest
+
+from repro.hw.workload import FrameGeometry, WorkloadModel, pair_lists
+from repro.scene import load_scene, default_trajectory
+
+
+@pytest.fixture(scope="module")
+def workload_model():
+    return WorkloadModel.from_scene("family", num_frames=4, num_gaussians=1500)
+
+
+class TestPairLists:
+    def test_single_small_splat(self):
+        tiles, rows = pair_lists(
+            np.array([[10.0, 10.0]]), np.array([2.0]), width=64, height=64, tile_size=16
+        )
+        assert tiles.shape == (1,)
+        assert rows.shape == (1,)
+        assert tiles[0] == 0
+
+    def test_offscreen(self):
+        tiles, rows = pair_lists(
+            np.array([[-50.0, -50.0]]), np.array([2.0]), width=64, height=64, tile_size=16
+        )
+        assert tiles.shape == (0,)
+
+    def test_empty(self):
+        tiles, rows = pair_lists(
+            np.zeros((0, 2)), np.zeros(0), width=64, height=64, tile_size=16
+        )
+        assert tiles.shape == (0,)
+
+    def test_matches_pipeline_tiling(self, small_scene, camera):
+        from repro.pipeline.projection import project_gaussians
+        from repro.pipeline.tiling import TileGrid, assign_to_tiles
+
+        proj = project_gaussians(small_scene, camera)
+        grid = TileGrid.for_camera(camera, 16)
+        assignment = assign_to_tiles(proj, grid)
+        tiles, rows = pair_lists(
+            proj.means2d, proj.radii, camera.width, camera.height, 16
+        )
+        assert tiles.shape[0] == assignment.num_pairs
+        occ = np.bincount(tiles, minlength=grid.num_tiles)
+        assert np.array_equal(occ, assignment.occupancy())
+
+
+class TestWorkloadModel:
+    def test_capture(self, workload_model):
+        assert workload_model.num_frames == 4
+        assert workload_model.count_scale > 100
+        for frame in workload_model.frames:
+            assert isinstance(frame, FrameGeometry)
+            assert frame.num_visible > 0
+
+    def test_frame_workload_scaling(self, workload_model):
+        w = workload_model.frame_workload(1, "qhd", 64)
+        assert w.num_gaussians == pytest.approx(1_100_000)
+        assert w.visible > 100_000
+        assert w.pairs > w.visible  # duplication factor > 1
+        assert w.nonempty_tiles <= w.num_tiles
+        assert w.chunks > 0
+        assert w.mean_radius_px > 0
+
+    def test_resolution_monotonicity(self, workload_model):
+        hd = workload_model.frame_workload(1, "hd", 64)
+        qhd = workload_model.frame_workload(1, "qhd", 64)
+        assert qhd.pairs > hd.pairs
+        assert qhd.num_tiles > hd.num_tiles
+        assert qhd.visible == hd.visible  # culling is resolution-independent
+
+    def test_tile_size_monotonicity(self, workload_model):
+        t64 = workload_model.frame_workload(1, "qhd", 64)
+        t16 = workload_model.frame_workload(1, "qhd", 16)
+        assert t16.pairs > t64.pairs  # smaller tiles duplicate more
+
+    def test_churn_zero_on_first_frame(self, workload_model):
+        w = workload_model.frame_workload(0, "hd", 64)
+        assert w.incoming_pairs == 0
+        assert w.outgoing_pairs == 0
+        assert w.retained_fraction == 1.0
+
+    def test_churn_small_on_later_frames(self, workload_model):
+        w = workload_model.frame_workload(2, "qhd", 64)
+        assert 0 < w.incoming_pairs < 0.2 * w.pairs
+        assert w.churn_fraction < 0.2
+
+    def test_sequence_workloads(self, workload_model):
+        ws = workload_model.sequence_workloads("hd", 64)
+        assert len(ws) == workload_model.num_frames
+        assert [w.frame_index for w in ws] == list(range(4))
+
+    def test_shared_fraction_range(self, workload_model):
+        fractions = workload_model.shared_fraction_per_tile(1, "qhd", 64)
+        assert fractions.size > 0
+        assert (fractions >= 0).all() and (fractions <= 1).all()
+        assert np.median(fractions) > 0.8  # the Fig. 6 claim
+
+    def test_order_differences_small(self, workload_model):
+        diffs = workload_model.order_differences(1, "qhd", 64)
+        w = workload_model.frame_workload(1, "qhd", 64)
+        assert diffs.size > 0
+        assert (diffs >= 0).all()
+        # 99th percentile is a small fraction of the table length (Fig. 7).
+        # The bound is loose at this coarse capture density (1500 Gaussians
+        # -> rank quantization); the fig07 driver uses a denser capture.
+        assert np.percentile(diffs, 99) < 0.15 * w.mean_occupancy
+
+    def test_first_frame_similarity_queries_rejected(self, workload_model):
+        with pytest.raises(ValueError):
+            workload_model.shared_fraction_per_tile(0, "hd", 64)
+        with pytest.raises(ValueError):
+            workload_model.order_differences(0, "hd", 64)
+
+    def test_from_render(self, small_scene):
+        cameras = default_trajectory("family", num_frames=2, width=240, height=135)
+        wm = WorkloadModel.from_render(small_scene, cameras, nominal_gaussians=10_000)
+        assert wm.count_scale == pytest.approx(10_000 / len(small_scene))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadModel([], 100, 100, 1.0, 100)
