@@ -1,0 +1,118 @@
+"""CI benchmark smoke: fig03 serial vs parallel, with equality checks.
+
+Two determinism-under-parallelism probes, timed and written to a JSON
+artifact:
+
+* **Experiment level** — a few fast drivers (``fig03`` plus companions, so
+  the pool genuinely fans out) through the
+  :class:`~repro.runtime.ParallelRunner` at ``jobs=1`` vs ``jobs=N`` with
+  caching disabled; row lists must be identical.
+* **Frame level** — a short trajectory through
+  :meth:`~repro.pipeline.renderer.Renderer.render_sequence` serial vs
+  sharded; images must be bitwise-identical.
+
+Not a pytest module on purpose: it is invoked directly by the workflow's
+benchmark job (``python benchmarks/ci_smoke.py --out timing.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+
+def experiment_smoke(experiments: list[str], jobs: int, frames: int) -> dict:
+    from repro.runtime import ParallelRunner
+
+    timings = {}
+    rows = {}
+    for label, n_jobs in (("serial", 1), ("parallel", jobs)):
+        runner = ParallelRunner(jobs=n_jobs, frames=frames, cache=None)
+        start = time.perf_counter()
+        outcomes = runner.run(experiments)
+        timings[label] = time.perf_counter() - start
+        rows[label] = [o.result.rows for o in outcomes]
+
+    return {
+        "experiments": experiments,
+        "frames": frames,
+        "serial_s": timings["serial"],
+        "parallel_s": timings["parallel"],
+        "speedup": timings["serial"] / timings["parallel"] if timings["parallel"] else 0.0,
+        "rows_identical": rows["serial"] == rows["parallel"],
+        "num_rows": sum(len(r) for r in rows["serial"]),
+    }
+
+
+def render_smoke(jobs: int, num_frames: int = 8) -> dict:
+    import numpy as np
+
+    from repro.pipeline.renderer import Renderer
+    from repro.scene.datasets import default_trajectory, load_scene
+
+    scene = load_scene("family", num_gaussians=1500)
+    cameras = default_trajectory("family", num_frames=num_frames, width=320, height=180)
+    renderer = Renderer(scene)
+
+    start = time.perf_counter()
+    serial = renderer.render_sequence(cameras)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = renderer.render_sequence(cameras, jobs=jobs)
+    parallel_s = time.perf_counter() - start
+
+    identical = all(
+        np.array_equal(a.image, b.image) and a.stats.blend_ops == b.stats.blend_ops
+        for a, b in zip(serial, parallel)
+    )
+    return {
+        "num_frames": num_frames,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s else 0.0,
+        "frames_identical": identical,
+    }
+
+
+def run_smoke(experiments: list[str], jobs: int, frames: int) -> dict:
+    summary = {
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "experiment_level": experiment_smoke(experiments, jobs, frames),
+        "frame_level": render_smoke(jobs),
+    }
+    summary["ok"] = (
+        summary["experiment_level"]["rows_identical"]
+        and summary["frame_level"]["frames_identical"]
+    )
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--experiments",
+        default="fig03,fig05,table3",
+        help="comma-separated list; several experiments so the pool genuinely fans out",
+    )
+    parser.add_argument("--jobs", type=int, default=max(2, (os.cpu_count() or 2)))
+    parser.add_argument("--frames", type=int, default=6)
+    parser.add_argument("--out", default="timing.json")
+    args = parser.parse_args(argv)
+
+    summary = run_smoke(args.experiments.split(","), args.jobs, args.frames)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+    print(json.dumps(summary, indent=2))
+    if not summary["ok"]:
+        print("FAIL: parallel output differs from serial output", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

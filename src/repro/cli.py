@@ -2,17 +2,22 @@
 
 Usage::
 
-    python -m repro list                      # available experiments/scenes
-    python -m repro run fig15                 # regenerate one figure/table
-    python -m repro run all                   # regenerate everything
-    python -m repro render family out.ppm     # render one frame to a PPM
-    python -m repro simulate neo family qhd   # one system/scene/resolution
+    repro list                            # available experiments/scenes
+    repro run fig15                       # regenerate one figure/table
+    repro experiments --all --jobs 4      # parallel + disk-cached runs
+    repro experiments fig03 --no-cache    # force recomputation
+    repro cache info                      # cache location and size
+    repro cache clear                     # drop every cached artifact
+    repro render family out.ppm           # render one frame to a PPM
+    repro simulate neo family qhd         # one system/scene/resolution
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 import numpy as np
 
@@ -35,6 +40,78 @@ def _cmd_run(args) -> int:
         result = run_experiment(name)
         print(result.to_text())
         print()
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from .experiments import list_experiments
+    from .runtime import ParallelRunner, ResultCache
+
+    if args.all:
+        names = list_experiments()
+    elif args.names:
+        names = args.names
+    else:
+        print("error: name at least one experiment or pass --all", file=sys.stderr)
+        return 2
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = ParallelRunner(jobs=args.jobs, frames=args.frames, cache=cache)
+    start = time.perf_counter()
+    try:
+        outcomes = runner.run(names)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+
+    for outcome in outcomes:
+        print(outcome.result.to_text())
+        origin = "cache hit" if outcome.from_cache else f"computed in {outcome.elapsed_s:.2f}s"
+        print(f"-- {outcome.name}: {origin}")
+        print()
+    hits = sum(1 for o in outcomes if o.from_cache)
+    print(
+        f"{len(outcomes)} experiment(s) in {elapsed:.2f}s wall "
+        f"(jobs={args.jobs}, {hits} from cache, cache "
+        f"{'disabled' if cache is None else 'at ' + str(cache.root)})"
+    )
+    if args.json:
+        payload = {
+            "elapsed_s": elapsed,
+            "jobs": args.jobs,
+            "experiments": [
+                {
+                    "name": o.name,
+                    "from_cache": o.from_cache,
+                    "elapsed_s": o.elapsed_s,
+                    "rows": o.result.rows,
+                }
+                for o in outcomes
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from .runtime import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "info":
+        info = cache.info()
+        print(f"root:         {info['root']}")
+        print(f"code version: {info['code_version']}")
+        if not info["namespaces"]:
+            print("(empty)")
+        for name, stats in info["namespaces"].items():
+            print(f"  {name:12s} {stats['entries']:5d} entries  {stats['bytes'] / 1e6:8.2f} MB")
+        print(f"total:        {info['total_entries']} entries, {info['total_bytes'] / 1e6:.2f} MB")
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} cached entr{'y' if removed == 1 else 'ies'} from {cache.root}")
     return 0
 
 
@@ -109,6 +186,25 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="regenerate a paper figure/table (or 'all')")
     run_p.add_argument("experiment", help="experiment id, e.g. fig15, table2, all")
 
+    exp_p = sub.add_parser(
+        "experiments",
+        help="run experiments through the parallel, disk-cached runtime",
+    )
+    exp_p.add_argument("names", nargs="*", help="experiment ids (e.g. fig15 table2)")
+    exp_p.add_argument("--all", action="store_true", help="run every registered experiment")
+    exp_p.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    exp_p.add_argument(
+        "--frames", type=int, default=None,
+        help="override frames per sequence (drivers with pinned frame counts ignore it)",
+    )
+    exp_p.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+    exp_p.add_argument("--cache-dir", default=None, help="cache root (default .repro_cache)")
+    exp_p.add_argument("--json", default=None, help="also write results/timings to a JSON file")
+
+    cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_p.add_argument("action", choices=("info", "clear"))
+    cache_p.add_argument("--cache-dir", default=None, help="cache root (default .repro_cache)")
+
     render_p = sub.add_parser("render", help="render one frame to a PPM image")
     render_p.add_argument("scene", help="scene preset name")
     render_p.add_argument("output", help="output .ppm path")
@@ -136,6 +232,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
+        "experiments": _cmd_experiments,
+        "cache": _cmd_cache,
         "render": _cmd_render,
         "simulate": _cmd_simulate,
     }

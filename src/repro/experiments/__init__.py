@@ -5,7 +5,12 @@ from .runner import (
     DEFAULT_FRAMES,
     PAPER_TRAFFIC_FRAMES,
     ExperimentResult,
+    RunnerConfig,
+    get_runner_config,
     get_workload_model,
+    resolve_frames,
+    runner_config,
+    set_runner_config,
     simulate_system,
 )
 
@@ -14,8 +19,13 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
     "PAPER_TRAFFIC_FRAMES",
+    "RunnerConfig",
+    "get_runner_config",
     "get_workload_model",
     "list_experiments",
+    "resolve_frames",
     "run_experiment",
+    "runner_config",
+    "set_runner_config",
     "simulate_system",
 ]

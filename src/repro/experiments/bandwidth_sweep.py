@@ -14,7 +14,7 @@ from __future__ import annotations
 from ..hw.accelerator import NeoModel
 from ..hw.config import DramConfig, GSCoreConfig
 from ..hw.gscore import GSCoreModel
-from .runner import DEFAULT_FRAMES, ExperimentResult, get_workload_model
+from .runner import ExperimentResult, get_workload_model
 
 BANDWIDTHS_GBPS = (17.8, 25.6, 38.4, 51.2, 76.8, 102.4, 204.8)
 
@@ -22,7 +22,7 @@ BANDWIDTHS_GBPS = (17.8, 25.6, 38.4, 51.2, 76.8, 102.4, 204.8)
 def run(
     scene: str = "family",
     resolution: str = "qhd",
-    num_frames: int = DEFAULT_FRAMES,
+    num_frames: int | None = None,
     bandwidths=BANDWIDTHS_GBPS,
 ) -> ExperimentResult:
     """Neo and GSCore FPS across DRAM bandwidths at QHD."""

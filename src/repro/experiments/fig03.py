@@ -7,14 +7,14 @@ above the 60 FPS SLO at HD, collapsing at FHD and QHD.
 from __future__ import annotations
 
 from ..scene.datasets import TANKS_AND_TEMPLES
-from .runner import DEFAULT_FRAMES, ExperimentResult, simulate_system
+from .runner import ExperimentResult, simulate_system
 
 RESOLUTIONS = ("hd", "fhd", "qhd")
 
 
 def run(
     scenes=TANKS_AND_TEMPLES,
-    num_frames: int = DEFAULT_FRAMES,
+    num_frames: int | None = None,
     cores: int = 4,
     bandwidth_gbps: float = 51.2,
 ) -> ExperimentResult:

@@ -10,13 +10,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..scene.datasets import TANKS_AND_TEMPLES
-from .runner import DEFAULT_FRAMES, ExperimentResult, simulate_system
+from .runner import ExperimentResult, simulate_system
 
 CORE_COUNTS = (4, 8, 16)
 BANDWIDTHS_GBPS = (51.2, 102.4, 204.8)
 
 
-def run(scenes=TANKS_AND_TEMPLES, num_frames: int = DEFAULT_FRAMES) -> ExperimentResult:
+def run(scenes=TANKS_AND_TEMPLES, num_frames: int | None = None) -> ExperimentResult:
     """Mean GSCore FPS at QHD for every (cores, bandwidth) combination."""
     result = ExperimentResult(
         name="fig04",

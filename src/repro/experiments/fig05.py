@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from ..scene.datasets import TANKS_AND_TEMPLES
 from .runner import (
-    DEFAULT_FRAMES,
     PAPER_TRAFFIC_FRAMES,
     ExperimentResult,
     simulate_system,
@@ -19,7 +18,7 @@ RESOLUTIONS = ("hd", "fhd", "qhd")
 SYSTEMS = ("orin", "gscore")
 
 
-def run(scenes=TANKS_AND_TEMPLES, num_frames: int = DEFAULT_FRAMES) -> ExperimentResult:
+def run(scenes=TANKS_AND_TEMPLES, num_frames: int | None = None) -> ExperimentResult:
     """Stage-level traffic (GB / 60 frames), averaged over scenes."""
     result = ExperimentResult(
         name="fig05",

@@ -13,7 +13,6 @@ import numpy as np
 
 from ..scene.datasets import TANKS_AND_TEMPLES
 from .runner import (
-    DEFAULT_FRAMES,
     PAPER_TRAFFIC_FRAMES,
     ExperimentResult,
     simulate_system,
@@ -23,7 +22,7 @@ from .runner import (
 def run(
     scenes=TANKS_AND_TEMPLES,
     resolution: str = "qhd",
-    num_frames: int = DEFAULT_FRAMES,
+    num_frames: int | None = None,
 ) -> ExperimentResult:
     """Latency and traffic of original 3DGS vs Neo-SW on the GPU model."""
     result = ExperimentResult(

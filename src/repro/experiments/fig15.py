@@ -10,13 +10,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..scene.datasets import TANKS_AND_TEMPLES
-from .runner import DEFAULT_FRAMES, ExperimentResult, simulate_system
+from .runner import ExperimentResult, simulate_system
 
 RESOLUTIONS = ("hd", "fhd", "qhd")
 SYSTEMS = ("orin", "gscore", "neo")
 
 
-def run(scenes=TANKS_AND_TEMPLES, num_frames: int = DEFAULT_FRAMES) -> ExperimentResult:
+def run(scenes=TANKS_AND_TEMPLES, num_frames: int | None = None) -> ExperimentResult:
     """FPS for every (scene, resolution, system), plus MEAN rows."""
     result = ExperimentResult(
         name="fig15",

@@ -10,7 +10,6 @@ import numpy as np
 
 from ..scene.datasets import TANKS_AND_TEMPLES
 from .runner import (
-    DEFAULT_FRAMES,
     PAPER_TRAFFIC_FRAMES,
     ExperimentResult,
     simulate_system,
@@ -22,7 +21,7 @@ SYSTEMS = ("orin", "gscore", "neo")
 def run(
     scenes=TANKS_AND_TEMPLES,
     resolution: str = "qhd",
-    num_frames: int = DEFAULT_FRAMES,
+    num_frames: int | None = None,
 ) -> ExperimentResult:
     """GB of DRAM traffic per scene per system (60-frame totals)."""
     result = ExperimentResult(

@@ -11,14 +11,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..scene.datasets import MILL19, TANKS_AND_TEMPLES
-from .runner import DEFAULT_FRAMES, ExperimentResult, simulate_system
+from .runner import ExperimentResult, simulate_system
 
 SPEEDS = (1.0, 2.0, 4.0, 8.0, 16.0)
 SYSTEMS = ("orin", "gscore", "neo")
 
 
 def run_large_scenes(
-    scenes=MILL19, resolution: str = "qhd", num_frames: int = DEFAULT_FRAMES
+    scenes=MILL19, resolution: str = "qhd", num_frames: int | None = None
 ) -> ExperimentResult:
     """Fig. 17(a): throughput on the large-scale aerial scenes."""
     result = ExperimentResult(
@@ -38,7 +38,7 @@ def run_large_scenes(
 def run_camera_speed(
     scene: str = "family",
     resolution: str = "qhd",
-    num_frames: int = DEFAULT_FRAMES,
+    num_frames: int | None = None,
     speeds=SPEEDS,
 ) -> ExperimentResult:
     """Fig. 17(b): Neo throughput under increasingly rapid camera motion."""
@@ -70,7 +70,7 @@ def run_camera_speed(
     return result
 
 
-def run(num_frames: int = DEFAULT_FRAMES) -> ExperimentResult:
+def run(num_frames: int | None = None) -> ExperimentResult:
     """Both panels merged into one result (rows tagged by panel).
 
     Panel (a) rows carry per-system FPS on the large scenes; panel (b)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..scene.datasets import TANKS_AND_TEMPLES
-from .runner import DEFAULT_FRAMES, ExperimentResult, simulate_system
+from .runner import ExperimentResult, simulate_system
 
 VARIANTS = ("gscore", "neo-s", "neo")
 
@@ -21,7 +21,7 @@ VARIANTS = ("gscore", "neo-s", "neo")
 def run(
     scenes=TANKS_AND_TEMPLES,
     resolution: str = "qhd",
-    num_frames: int = DEFAULT_FRAMES,
+    num_frames: int | None = None,
 ) -> ExperimentResult:
     """Speedup and relative traffic of each variant, normalized to GSCore."""
     result = ExperimentResult(

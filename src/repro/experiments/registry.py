@@ -23,7 +23,7 @@ from . import (
     table3,
     table4,
 )
-from .runner import ExperimentResult
+from .runner import ExperimentResult, RunnerConfig, runner_config
 
 #: Experiment ID -> zero-argument driver producing an ExperimentResult.
 EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
@@ -47,12 +47,20 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
 }
 
 
-def run_experiment(name: str) -> ExperimentResult:
-    """Run one registered experiment by its paper ID."""
+def run_experiment(name: str, config: RunnerConfig | None = None) -> ExperimentResult:
+    """Run one registered experiment by its paper ID.
+
+    ``config`` scopes a :class:`~repro.experiments.runner.RunnerConfig`
+    (frame-count override, result cache) to this run; ``None`` uses the
+    process-wide active configuration.
+    """
     key = name.lower()
     if key not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; options: {sorted(EXPERIMENTS)}")
-    return EXPERIMENTS[key]()
+    if config is None:
+        return EXPERIMENTS[key]()
+    with runner_config(config):
+        return EXPERIMENTS[key]()
 
 
 def list_experiments() -> list[str]:

@@ -19,7 +19,7 @@ churn, and order-difference queries for any (resolution, tile size).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

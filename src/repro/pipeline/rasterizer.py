@@ -85,19 +85,33 @@ class RasterResult:
     stats: RasterStats = field(default_factory=RasterStats)
 
 
-def _subtile_bitmap(
-    cx: float, cy: float, radius: float, x0: int, y0: int, x1: int, y1: int, subtile: int
+def _subtile_bitmaps(
+    means: np.ndarray,
+    radii: np.ndarray,
+    x0: int,
+    y0: int,
+    x1: int,
+    y1: int,
+    subtile: int,
 ) -> np.ndarray:
-    """Conservative circle-vs-rectangle intersection bitmap over subtiles."""
+    """Conservative circle-vs-rectangle intersection bitmaps, batched.
+
+    Returns a ``(n, subtiles_y, subtiles_x)`` boolean array for all ``n``
+    Gaussians at once.  The per-element math matches the scalar formulation
+    (clamp the center to each subtile rect; overlap iff the clamped point is
+    within the radius), so the batched result is bitwise-identical to a
+    per-Gaussian loop.
+    """
     sxs = np.arange(x0, x1, subtile)
-    sys = np.arange(y0, y1, subtile)
-    # Clamp the center to each subtile rect; overlap iff the clamped point is
-    # within `radius` of the center.
-    qx = np.clip(cx, sxs, np.minimum(sxs + subtile, x1))
-    qy = np.clip(cy, sys, np.minimum(sys + subtile, y1))
-    dx = (qx - cx)[None, :]
-    dy = (qy - cy)[:, None]
-    return dx * dx + dy * dy <= radius * radius
+    sys_ = np.arange(y0, y1, subtile)
+    cx = means[:, 0][:, None]
+    cy = means[:, 1][:, None]
+    qx = np.clip(cx, sxs[None, :], np.minimum(sxs + subtile, x1)[None, :])
+    qy = np.clip(cy, sys_[None, :], np.minimum(sys_ + subtile, y1)[None, :])
+    dx2 = (qx - cx) ** 2  # (n, subtiles_x)
+    dy2 = (qy - cy) ** 2  # (n, subtiles_y)
+    r2 = radii * radii
+    return dx2[:, None, :] + dy2[:, :, None] <= r2[:, None, None]
 
 
 def rasterize_tile(
@@ -148,13 +162,10 @@ def rasterize_tile(
     # of whether blending terminates early, so a Gaussian's membership in
     # the tile is judged independently of its visual contribution.
     if sub is not None:
-        valid = np.zeros(n, dtype=bool)
-        subtile_hits = np.zeros(n, dtype=np.int64)
-        for i in range(n):
-            bitmap = _subtile_bitmap(means[i, 0], means[i, 1], radii[i], x0, y0, x1, y1, sub)
-            stats.subtile_tests += bitmap.size
-            subtile_hits[i] = int(np.count_nonzero(bitmap))
-            valid[i] = subtile_hits[i] > 0
+        bitmaps = _subtile_bitmaps(means, radii, x0, y0, x1, y1, sub)
+        stats.subtile_tests += bitmaps.size
+        subtile_hits = np.count_nonzero(bitmaps, axis=(1, 2)).astype(np.int64)
+        valid = subtile_hits > 0
         stats.subtile_hits += int(subtile_hits.sum())
     else:
         # No subtiling: test the splat's bounding circle against the tile.

@@ -1,0 +1,21 @@
+"""Execution runtime: process-parallel experiment fan-out + disk caching.
+
+The runtime layer sits between the CLI and the experiment/pipeline layers.
+It owns process pools (:class:`ParallelRunner`,
+:func:`parallel_render_sequence`) and artifact persistence
+(:class:`ResultCache`), keeping both orthogonal to the science code: drivers
+and the renderer stay pure functions of their inputs.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache, code_version, stable_key
+from .parallel import ParallelRunner, RunOutcome, parallel_render_sequence
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ParallelRunner",
+    "ResultCache",
+    "RunOutcome",
+    "code_version",
+    "parallel_render_sequence",
+    "stable_key",
+]

@@ -1,0 +1,215 @@
+"""Disk-backed result cache for experiment artifacts.
+
+Every expensive artifact the reproduction produces — captured workload
+geometry, per-system :class:`~repro.hw.stages.SequenceReport`\\ s, and whole
+:class:`~repro.experiments.runner.ExperimentResult` tables — is a pure
+function of (scene, trajectory, hardware configuration, code version).  The
+:class:`ResultCache` persists those artifacts under ``.repro_cache/`` keyed
+by a stable hash of exactly that tuple, so a warm invocation never re-renders
+a frame or re-simulates a system it has already measured.
+
+Layout::
+
+    .repro_cache/
+        experiments/<key>.json    # ExperimentResult rows (human-inspectable)
+        reports/<key>.pkl         # SequenceReport objects
+        workloads/<key>.pkl       # captured WorkloadModel frame geometry
+
+Keys mix a canonical JSON encoding of the parameter dict with a digest of
+the ``repro`` package's own source, so editing any module under
+``src/repro/`` transparently invalidates every stale entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+#: Default cache root, overridable via the ``REPRO_CACHE_DIR`` environment
+#: variable or an explicit ``root`` argument.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Namespaces with JSON payloads; everything else is pickled.
+_JSON_NAMESPACES = frozenset({"experiments"})
+
+_code_version_cache: str | None = None
+
+
+def code_version() -> str:
+    """Digest of the ``repro`` package's Python source (16 hex chars).
+
+    Hashes every ``*.py`` file under the installed package directory in
+    sorted order, so any code change — a new strategy, a tweaked hardware
+    constant — yields a different version and therefore different cache keys.
+    Computed once per process.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        package_dir = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_dir.rglob("*.py")):
+            digest.update(str(path.relative_to(package_dir)).encode())
+            digest.update(path.read_bytes())
+        _code_version_cache = digest.hexdigest()[:16]
+    return _code_version_cache
+
+
+def _json_default(value: Any) -> Any:
+    """Serialize numpy scalars that ``json`` won't take natively.
+
+    ``np.float64`` is a ``float`` subclass and passes through on its own;
+    integer and bool scalars are not, so convert them losslessly.
+    """
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    raise TypeError(f"not JSON-cacheable: {type(value).__name__}")
+
+
+def _canonical(value: Any) -> Any:
+    """Recursively convert a payload to a canonical JSON-encodable form."""
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        # repr round-trips doubles exactly; float() normalizes np scalars.
+        return repr(float(value))
+    return repr(value)
+
+
+def stable_key(payload: dict[str, Any]) -> str:
+    """Deterministic hex key for a parameter dict (code version included)."""
+    body = json.dumps(
+        {"code": code_version(), **_canonical(payload)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(body.encode()).hexdigest()[:32]
+
+
+class ResultCache:
+    """Persistent store for experiment artifacts, keyed by stable hashes.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; defaults to ``$REPRO_CACHE_DIR`` or
+        ``.repro_cache`` in the working directory.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Core get/put
+    # ------------------------------------------------------------------
+    def _path(self, namespace: str, key: str) -> Path:
+        suffix = ".json" if namespace in _JSON_NAMESPACES else ".pkl"
+        return self.root / namespace / f"{key}{suffix}"
+
+    def get(self, namespace: str, payload: dict[str, Any]) -> Any | None:
+        """Look up an artifact; returns ``None`` on a miss or corrupt entry."""
+        path = self._path(namespace, stable_key(payload))
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            if path.suffix == ".json":
+                with open(path, encoding="utf-8") as handle:
+                    value = json.load(handle)["value"]
+            else:
+                with open(path, "rb") as handle:
+                    value = pickle.load(handle)
+        except (OSError, ValueError, KeyError, pickle.UnpicklingError, EOFError):
+            # A truncated or stale entry is a miss, not an error.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, namespace: str, payload: dict[str, Any], value: Any) -> Path:
+        """Persist an artifact; writes are atomic (tmp file + rename)."""
+        path = self._path(namespace, stable_key(payload))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        try:
+            if path.suffix == ".json":
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    json.dump(
+                        {"payload": _canonical(payload), "value": value},
+                        handle,
+                        default=_json_default,
+                    )
+            else:
+                with open(tmp, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def info(self) -> dict[str, Any]:
+        """Summary of the cache contents for ``repro cache info``."""
+        namespaces: dict[str, dict[str, int]] = {}
+        total_entries = 0
+        total_bytes = 0
+        if self.root.exists():
+            for ns_dir in sorted(p for p in self.root.iterdir() if p.is_dir()):
+                entries = [p for p in ns_dir.iterdir() if p.is_file()]
+                size = sum(p.stat().st_size for p in entries)
+                namespaces[ns_dir.name] = {"entries": len(entries), "bytes": size}
+                total_entries += len(entries)
+                total_bytes += size
+        return {
+            "root": str(self.root),
+            "code_version": code_version(),
+            "namespaces": namespaces,
+            "total_entries": total_entries,
+            "total_bytes": total_bytes,
+        }
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed.
+
+        Deliberately surgical: only ``*.json``/``*.pkl`` entries inside the
+        cache's namespace subdirectories are deleted, and directories are
+        only removed once empty.  Pointing ``--cache-dir`` (or
+        ``REPRO_CACHE_DIR``) at a directory holding anything else must never
+        destroy that content.
+        """
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for ns_dir in self.root.iterdir():
+            if not ns_dir.is_dir():
+                continue
+            for entry in ns_dir.iterdir():
+                if entry.is_file() and entry.suffix in {".json", ".pkl"}:
+                    entry.unlink()
+                    removed += 1
+            try:
+                ns_dir.rmdir()
+            except OSError:
+                pass  # non-cache content present; leave it alone
+        try:
+            self.root.rmdir()
+        except OSError:
+            pass
+        return removed

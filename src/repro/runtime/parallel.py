@@ -1,0 +1,201 @@
+"""Parallel execution of experiment drivers and per-frame renders.
+
+Two fan-out axes, both with deterministic merges:
+
+* **Experiment-level** — :class:`ParallelRunner` runs registered experiment
+  drivers across a :mod:`multiprocessing` pool, consulting the
+  :class:`~repro.runtime.cache.ResultCache` before dispatch so warm entries
+  never reach a worker.  Results come back in the caller's requested order
+  regardless of completion order.
+* **Frame-level** — :func:`parallel_render_sequence` shards a camera
+  trajectory into contiguous frame ranges and renders each shard in its own
+  worker.  Frames rendered by a stateless sorting strategy are independent,
+  so the merged output is bitwise-identical to a serial
+  :meth:`~repro.pipeline.renderer.Renderer.render_sequence`.  Stateful
+  strategies (Neo's reuse-and-update chain) carry inter-frame state and are
+  transparently rendered serially.
+
+Experiment drivers are dispatched *by name* (workers re-resolve them through
+the registry), so everything crossing the process boundary is picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from .cache import ResultCache
+
+if TYPE_CHECKING:  # circular at runtime: experiments imports runtime.cache
+    from ..experiments.runner import ExperimentResult
+    from ..pipeline.renderer import FrameRecord, Renderer
+    from ..scene.camera import Camera
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (cheap, shares the loaded scene pages); else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+# ----------------------------------------------------------------------
+# Experiment-level parallelism
+# ----------------------------------------------------------------------
+@dataclass
+class RunOutcome:
+    """One experiment's result plus provenance for reporting."""
+
+    name: str
+    result: "ExperimentResult"
+    elapsed_s: float
+    from_cache: bool
+
+
+def _run_experiment_by_name(name: str, frames: int | None, cache_root: str | None):
+    """Worker body: run one registered driver under the given config."""
+    from ..experiments import registry
+    from ..experiments.runner import RunnerConfig, runner_config
+
+    cache = ResultCache(cache_root) if cache_root is not None else None
+    start = time.perf_counter()
+    with runner_config(RunnerConfig(frames=frames, cache=cache)):
+        result = registry.EXPERIMENTS[name]()
+    return name, result.name, result.description, result.rows, time.perf_counter() - start
+
+
+def _experiment_worker(task: tuple[str, int | None, str | None]):
+    return _run_experiment_by_name(*task)
+
+
+@dataclass
+class ParallelRunner:
+    """Runs experiment drivers across processes with disk-backed caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` runs everything in-process.
+    frames:
+        Frame-count override threaded into each driver's
+        :class:`~repro.experiments.runner.RunnerConfig` (``None`` keeps the
+        driver default).
+    cache:
+        Result cache, or ``None`` to disable persistence entirely.
+    """
+
+    jobs: int = 1
+    frames: int | None = None
+    cache: ResultCache | None = field(default_factory=ResultCache)
+
+    def _cache_payload(self, name: str) -> dict[str, Any]:
+        from ..experiments.runner import DEFAULT_FRAMES
+
+        return {
+            "kind": "experiment",
+            "name": name,
+            "frames": DEFAULT_FRAMES if self.frames is None else self.frames,
+        }
+
+    def run(self, names: list[str]) -> list[RunOutcome]:
+        """Execute experiments by registry name; output order matches input."""
+        from ..experiments import registry
+        from ..experiments.runner import ExperimentResult
+
+        unknown = [n for n in names if n.lower() not in registry.EXPERIMENTS]
+        if unknown:
+            raise KeyError(
+                f"unknown experiments {unknown}; options: {sorted(registry.EXPERIMENTS)}"
+            )
+        names = [n.lower() for n in names]
+
+        outcomes: dict[str, RunOutcome] = {}
+        misses: list[str] = []
+        for name in names:
+            cached = self.cache.get("experiments", self._cache_payload(name)) if self.cache else None
+            if cached is not None:
+                result = ExperimentResult(
+                    name=cached["name"],
+                    description=cached["description"],
+                    rows=cached["rows"],
+                )
+                outcomes[name] = RunOutcome(name, result, elapsed_s=0.0, from_cache=True)
+            else:
+                misses.append(name)
+
+        cache_root = str(self.cache.root) if self.cache else None
+        tasks = [(name, self.frames, cache_root) for name in misses]
+        if tasks and self.jobs > 1:
+            ctx = _mp_context()
+            with ctx.Pool(processes=min(self.jobs, len(tasks))) as pool:
+                raw = pool.map(_experiment_worker, tasks)
+        else:
+            raw = [_experiment_worker(task) for task in tasks]
+
+        for name, result_name, description, rows, elapsed in raw:
+            result = ExperimentResult(name=result_name, description=description, rows=rows)
+            outcomes[name] = RunOutcome(name, result, elapsed_s=elapsed, from_cache=False)
+            if self.cache:
+                self.cache.put(
+                    "experiments",
+                    self._cache_payload(name),
+                    {"name": result.name, "description": description, "rows": rows},
+                )
+        return [outcomes[name] for name in names]
+
+
+# ----------------------------------------------------------------------
+# Frame-level parallelism
+# ----------------------------------------------------------------------
+_render_state: dict[str, Any] = {}
+
+
+def _init_render_worker(renderer: "Renderer", cameras: "list[Camera]") -> None:
+    _render_state["renderer"] = renderer
+    _render_state["cameras"] = cameras
+
+
+def _render_shard(indices: list[int]) -> "list[FrameRecord]":
+    renderer = _render_state["renderer"]
+    cameras = _render_state["cameras"]
+    return [renderer.render(cameras[i], frame_index=i) for i in indices]
+
+
+def _contiguous_shards(num_items: int, num_shards: int) -> list[list[int]]:
+    """Split ``range(num_items)`` into <= num_shards contiguous index runs."""
+    num_shards = max(1, min(num_shards, num_items))
+    base, extra = divmod(num_items, num_shards)
+    shards: list[list[int]] = []
+    start = 0
+    for shard in range(num_shards):
+        size = base + (1 if shard < extra else 0)
+        shards.append(list(range(start, start + size)))
+        start += size
+    return shards
+
+
+def parallel_render_sequence(
+    renderer: "Renderer", cameras: "list[Camera]", jobs: int
+) -> "list[FrameRecord]":
+    """Render a trajectory with frame-level sharding.
+
+    Bitwise-identical to the serial path: shards are contiguous, workers
+    thread the true frame indices through, and the merge concatenates shards
+    in order.  Falls back to serial rendering when the strategy carries
+    inter-frame state (parallel shards would diverge from the serial
+    reuse chain) or when there is nothing to fan out.
+    """
+    stateless = getattr(renderer.strategy, "stateless", False)
+    if jobs <= 1 or len(cameras) <= 1 or not stateless:
+        return [renderer.render(camera, frame_index=i) for i, camera in enumerate(cameras)]
+
+    shards = _contiguous_shards(len(cameras), jobs)
+    ctx = _mp_context()
+    with ctx.Pool(
+        processes=len(shards),
+        initializer=_init_render_worker,
+        initargs=(renderer, cameras),
+    ) as pool:
+        parts = pool.map(_render_shard, shards)
+    return [record for part in parts for record in part]

@@ -4,11 +4,10 @@ These assert the *structural* properties the paper's evaluation relies on —
 who wins, what dominates, how knobs move the numbers — not absolute values.
 """
 
-import numpy as np
 import pytest
 
 from repro.hw.accelerator import NeoModel
-from repro.hw.config import DramConfig, GpuConfig, GSCoreConfig
+from repro.hw.config import DramConfig, GSCoreConfig
 from repro.hw.gpu import OrinGpuModel
 from repro.hw.gscore import GSCoreModel
 from repro.hw.stages import SequenceReport, StageTraffic, effective_pairs

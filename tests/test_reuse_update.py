@@ -1,6 +1,5 @@
 """Unit tests for the reuse-and-update sorting strategy (Neo's algorithm)."""
 
-import numpy as np
 import pytest
 
 from repro.core.reuse_update import ReuseUpdateSorter, SortTraffic

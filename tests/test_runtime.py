@@ -1,0 +1,288 @@
+"""Tests for the execution runtime: parallel fan-out and disk caching."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.strategies import NeoSortStrategy
+from repro.experiments.runner import (
+    RunnerConfig,
+    _workload_model_cached,
+    get_workload_model,
+    resolve_frames,
+    runner_config,
+    simulate_system,
+)
+from repro.hw.workload import WorkloadModel
+from repro.pipeline.renderer import Renderer
+from repro.runtime import ParallelRunner, ResultCache, code_version, stable_key
+from repro.runtime.parallel import _contiguous_shards
+
+
+def _assert_records_identical(serial, parallel):
+    assert len(serial) == len(parallel)
+    for a, b in zip(serial, parallel):
+        assert np.array_equal(a.image, b.image)
+        assert a.stats.frame_index == b.stats.frame_index
+        assert a.stats.num_pairs == b.stats.num_pairs
+        assert a.stats.blend_ops == b.stats.blend_ops
+        assert a.stats.subtile_tests == b.stats.subtile_tests
+        assert a.stats.subtile_hits == b.stats.subtile_hits
+        assert np.array_equal(a.stats.occupancy, b.stats.occupancy)
+
+
+class TestParallelRender:
+    def test_bitwise_equal_to_serial(self, small_scene, camera_path):
+        renderer = Renderer(small_scene)
+        serial = renderer.render_sequence(camera_path)
+        parallel = renderer.render_sequence(camera_path, jobs=2)
+        _assert_records_identical(serial, parallel)
+
+    def test_more_jobs_than_frames(self, small_scene, camera_path):
+        renderer = Renderer(small_scene)
+        serial = renderer.render_sequence(camera_path)
+        parallel = renderer.render_sequence(camera_path, jobs=16)
+        _assert_records_identical(serial, parallel)
+
+    def test_stateful_strategy_falls_back_to_serial(self, small_scene, camera_path):
+        # Neo's reuse chain carries inter-frame state; jobs>1 must not
+        # shard it (results would diverge), just render serially.
+        serial = Renderer(small_scene, strategy=NeoSortStrategy()).render_sequence(camera_path)
+        parallel = Renderer(small_scene, strategy=NeoSortStrategy()).render_sequence(
+            camera_path, jobs=2
+        )
+        _assert_records_identical(serial, parallel)
+
+    def test_contiguous_shards_cover_in_order(self):
+        shards = _contiguous_shards(10, 3)
+        assert [i for shard in shards for i in shard] == list(range(10))
+        assert all(len(s) >= 3 for s in shards)
+        assert _contiguous_shards(2, 8) == [[0], [1]]
+        assert _contiguous_shards(1, 1) == [[0]]
+
+
+class TestStableKey:
+    def test_deterministic(self):
+        payload = {"scene": "family", "frames": 12, "speed": 1.0}
+        assert stable_key(payload) == stable_key(dict(reversed(list(payload.items()))))
+
+    def test_sensitive_to_values(self):
+        base = {"scene": "family", "frames": 12}
+        assert stable_key(base) != stable_key({"scene": "family", "frames": 13})
+        assert stable_key(base) != stable_key({"scene": "horse", "frames": 12})
+
+    def test_code_version_shape(self):
+        version = code_version()
+        assert len(version) == 16
+        int(version, 16)  # hex
+
+
+class TestResultCache:
+    def test_json_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        payload = {"kind": "experiment", "name": "x", "frames": 3}
+        assert cache.get("experiments", payload) is None
+        cache.put("experiments", payload, {"rows": [{"a": 1.5, "b": "s"}]})
+        assert cache.get("experiments", payload) == {"rows": [{"a": 1.5, "b": "s"}]}
+
+    def test_numpy_scalars_in_json_values(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        payload = {"kind": "experiment", "name": "np"}
+        cache.put(
+            "experiments",
+            payload,
+            {"f": np.float64(0.1), "i": np.int64(7), "b": np.bool_(True)},
+        )
+        value = cache.get("experiments", payload)
+        assert value == {"f": 0.1, "i": 7, "b": True}
+
+    def test_pickle_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        payload = {"kind": "report", "system": "neo"}
+        arr = np.arange(6).reshape(2, 3)
+        cache.put("reports", payload, arr)
+        assert np.array_equal(cache.get("reports", payload), arr)
+
+    def test_miss_on_payload_change(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("reports", {"frames": 12}, "twelve")
+        assert cache.get("reports", {"frames": 13}) is None
+        assert cache.get("reports", {"frames": 12}) == "twelve"
+
+    def test_info_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("experiments", {"n": 1}, {"rows": []})
+        cache.put("reports", {"n": 2}, [1, 2, 3])
+        info = cache.info()
+        assert info["total_entries"] == 2
+        assert info["namespaces"]["experiments"]["entries"] == 1
+        assert cache.clear() == 2
+        assert cache.info()["total_entries"] == 0
+        assert cache.get("reports", {"n": 2}) is None
+
+    def test_clear_leaves_foreign_files_alone(self, tmp_path):
+        # Pointing --cache-dir at a directory with unrelated content must
+        # never destroy that content.
+        root = tmp_path / "mixed"
+        root.mkdir()
+        (root / "precious.txt").write_text("keep me")
+        sub = root / "notes"
+        sub.mkdir()
+        (sub / "todo.md").write_text("keep me too")
+        cache = ResultCache(root)
+        cache.put("experiments", {"n": 1}, {"rows": []})
+        assert cache.clear() == 1
+        assert (root / "precious.txt").read_text() == "keep me"
+        assert (sub / "todo.md").read_text() == "keep me too"
+        assert not (root / "experiments").exists()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        payload = {"n": 1}
+        path = cache.put("reports", payload, "value")
+        path.write_bytes(b"\x00not a pickle")
+        assert cache.get("reports", payload) is None
+
+
+class TestRunnerConfig:
+    def test_resolve_frames_default_and_override(self):
+        assert resolve_frames(7) == 7
+        assert resolve_frames() == 12  # DEFAULT_FRAMES
+        with runner_config(RunnerConfig(frames=3)):
+            assert resolve_frames() == 3
+            assert resolve_frames(5) == 5
+        assert resolve_frames() == 12
+
+    def test_workload_model_sees_config_frames(self):
+        with runner_config(RunnerConfig(frames=3)):
+            wm = get_workload_model("horse", num_gaussians=150)
+        assert wm.num_frames == 3
+
+    def test_simulate_system_report_served_from_disk(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        kwargs = dict(num_frames=3, speed=1.375)  # unique args: distinct lru key
+        with runner_config(RunnerConfig(cache=cache)):
+            cold = simulate_system("neo", "horse", "hd", **kwargs)
+        assert cache.info()["namespaces"]["reports"]["entries"] >= 1
+
+        # Drop the in-process memo and poison capture: a second call can only
+        # succeed if the report comes back from disk.
+        _workload_model_cached.cache_clear()
+        monkeypatch.setattr(
+            WorkloadModel,
+            "from_scene",
+            staticmethod(lambda *a, **k: pytest.fail("cache miss: re-captured workload")),
+        )
+        with runner_config(RunnerConfig(cache=cache)):
+            warm = simulate_system("neo", "horse", "hd", **kwargs)
+        assert warm.fps == cold.fps
+        assert warm.total_traffic.total == cold.total_traffic.total
+
+    def test_workload_geometry_served_from_disk(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        with runner_config(RunnerConfig(cache=cache)):
+            cold = get_workload_model("horse", num_frames=3, num_gaussians=151)
+        _workload_model_cached.cache_clear()
+        monkeypatch.setattr(
+            WorkloadModel,
+            "from_scene",
+            staticmethod(lambda *a, **k: pytest.fail("cache miss: re-captured workload")),
+        )
+        with runner_config(RunnerConfig(cache=cache)):
+            warm = get_workload_model("horse", num_frames=3, num_gaussians=151)
+        assert warm.num_frames == cold.num_frames
+        for a, b in zip(cold.frames, warm.frames):
+            assert np.array_equal(a.means2d, b.means2d)
+            assert np.array_equal(a.depths, b.depths)
+
+    def test_code_change_invalidates_key(self, monkeypatch):
+        import repro.runtime.cache as cache_mod
+
+        payload = {"kind": "report", "system": "neo"}
+        key_now = stable_key(payload)
+        monkeypatch.setattr(cache_mod, "_code_version_cache", "deadbeefdeadbeef")
+        assert stable_key(payload) != key_now
+
+
+class TestParallelRunner:
+    def test_parallel_rows_match_serial_and_warm_cache(self, tmp_path):
+        names = ["fig03", "table3", "table4"]
+        serial = ParallelRunner(jobs=1, frames=3, cache=None).run(names)
+        cache = ResultCache(tmp_path / "cache")
+        parallel = ParallelRunner(jobs=2, frames=3, cache=cache).run(names)
+        assert [o.name for o in parallel] == names
+        for s, p in zip(serial, parallel):
+            assert not p.from_cache
+            assert s.result.rows == p.result.rows
+
+        warm = ParallelRunner(jobs=2, frames=3, cache=cache).run(names)
+        for s, w in zip(serial, warm):
+            assert w.from_cache
+            assert s.result.rows == w.result.rows
+
+    def test_frames_change_invalidates_experiment_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = ParallelRunner(jobs=1, frames=3, cache=cache).run(["table3"])
+        assert not first[0].from_cache
+        other_frames = ParallelRunner(jobs=1, frames=4, cache=cache).run(["table3"])
+        assert not other_frames[0].from_cache
+        again = ParallelRunner(jobs=1, frames=3, cache=cache).run(["table3"])
+        assert again[0].from_cache
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            ParallelRunner(jobs=1, cache=None).run(["fig99"])
+
+
+class TestCli:
+    def test_experiments_cold_then_warm(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        json_path = str(tmp_path / "out.json")
+        rc = main(
+            ["experiments", "table3", "--frames", "3", "--cache-dir", cache_dir,
+             "--json", json_path]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "computed in" in out
+        assert "GSCore" in out
+
+        rc = main(["experiments", "table3", "--frames", "3", "--cache-dir", cache_dir])
+        assert rc == 0
+        assert "cache hit" in capsys.readouterr().out
+
+        import json
+
+        with open(json_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["experiments"][0]["name"] == "table3"
+        assert payload["experiments"][0]["rows"]
+
+    def test_experiments_requires_names_or_all(self, capsys):
+        assert main(["experiments"]) == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_cache_info_and_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["experiments", "table3", "--frames", "3", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "experiments" in out and "entries" in out
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed" in capsys.readouterr().out
+
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        assert "(empty)" in capsys.readouterr().out
+
+    def test_no_cache_flag_skips_cache_writes(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        rc = main(
+            ["experiments", "table3", "--frames", "3", "--no-cache",
+             "--cache-dir", str(cache_dir)]
+        )
+        assert rc == 0
+        assert "cache disabled" in capsys.readouterr().out
+        assert not cache_dir.exists()

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.hw.workload import FrameGeometry, WorkloadModel, pair_lists
-from repro.scene import load_scene, default_trajectory
+from repro.scene import default_trajectory
 
 
 @pytest.fixture(scope="module")
