@@ -1,8 +1,12 @@
 """Bench: Fig. 4 — GSCore QHD FPS across core counts and DRAM bandwidths."""
 
+import pytest
+
 from repro.experiments import fig04
 
 from conftest import run_once
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig04_cores_bandwidth(benchmark, bench_frames):

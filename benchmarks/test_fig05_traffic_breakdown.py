@@ -1,8 +1,12 @@
 """Bench: Fig. 5 — DRAM traffic breakdown of GPU 3DGS and GSCore."""
 
+import pytest
+
 from repro.experiments import fig05
 
 from conftest import run_once
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig05_traffic_breakdown(benchmark, bench_frames):

@@ -1,8 +1,12 @@
 """Bench: Fig. 15 — end-to-end throughput of Orin AGX, GSCore and Neo."""
 
+import pytest
+
 from repro.experiments import fig15
 
 from conftest import run_once
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig15_end_to_end(benchmark, bench_frames):

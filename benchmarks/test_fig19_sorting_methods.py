@@ -1,8 +1,12 @@
 """Bench: Fig. 19 — latency and quality of four sorting-reuse methods."""
 
+import pytest
+
 from repro.experiments import fig19
 
 from conftest import run_once
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig19_sorting_methods(benchmark):

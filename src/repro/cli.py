@@ -6,6 +6,9 @@ Usage::
     repro run fig15                       # regenerate one figure/table
     repro experiments --all --jobs 4      # parallel + disk-cached runs
     repro experiments fig03 --no-cache    # force recomputation
+    repro sweep list                      # predefined scenario sweeps
+    repro sweep run --spec motion_stress --jobs 4 --out out/
+    repro sweep report out/motion_stress.json
     repro cache info                      # cache location and size
     repro cache clear                     # drop every cached artifact
     repro render family out.ppm           # render one frame to a PPM
@@ -94,6 +97,70 @@ def _cmd_experiments(args) -> int:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json}")
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .runtime import ResultCache
+    from .sweeps import SweepReport, SweepRunner, list_sweep_specs, resolve_spec
+    from .sweeps.registry import PREDEFINED
+
+    if args.sweep_command == "list":
+        for name in list_sweep_specs():
+            spec = PREDEFINED[name]
+            print(f"{name:18s} {spec.num_points:3d} points  {spec.description}")
+        return 0
+
+    if args.sweep_command == "report":
+        try:
+            report = SweepReport.load_json(args.source)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot load sweep report {args.source!r}: {exc}", file=sys.stderr)
+            return 2
+        print(report.to_markdown())
+        if args.out:
+            _write_sweep_files(report, args.out)
+        return 0
+
+    # run
+    try:
+        spec = resolve_spec(args.spec)
+    except (KeyError, FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = SweepRunner(jobs=args.jobs, cache=cache)
+    outcome = runner.run(spec)
+    report = outcome.report
+
+    print(report.to_markdown(max_rows=args.max_rows))
+    print()
+    print(
+        f"{report.num_points} point(s) in {outcome.elapsed_s:.2f}s wall "
+        f"(jobs={args.jobs}, {outcome.hits} from cache, cache "
+        f"{'disabled' if cache is None else 'at ' + str(cache.root)})"
+    )
+    if args.out:
+        _write_sweep_files(report, args.out)
+    if args.require_cached and not outcome.all_cached:
+        print(
+            f"error: --require-cached but {outcome.misses} point(s) were recomputed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _write_sweep_files(report, out_dir: str) -> None:
+    """Write <name>.json/.csv/.md under ``out_dir`` and announce the paths."""
+    import os
+
+    base = os.path.join(out_dir, report.name)
+    for path in (
+        report.write_json(base + ".json"),
+        report.write_csv(base + ".csv"),
+        report.write_markdown(base + ".md"),
+    ):
+        print(f"wrote {path}")
 
 
 def _cmd_cache(args) -> int:
@@ -201,6 +268,45 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--cache-dir", default=None, help="cache root (default .repro_cache)")
     exp_p.add_argument("--json", default=None, help="also write results/timings to a JSON file")
 
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="declarative scenario sweeps over scenes/trajectories/strategies/hardware",
+    )
+    sweep_sub = sweep_p.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_run = sweep_sub.add_parser("run", help="execute a sweep spec (name or JSON file)")
+    sweep_run.add_argument(
+        "--spec", required=True,
+        help="predefined sweep name (see `repro sweep list`) or path to a spec .json",
+    )
+    sweep_run.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    sweep_run.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+    sweep_run.add_argument("--cache-dir", default=None, help="cache root (default .repro_cache)")
+    sweep_run.add_argument(
+        "--out", default=None,
+        help="directory to write <name>.json/.csv/.md report files into",
+    )
+    sweep_run.add_argument(
+        "--max-rows", type=int, default=None,
+        help="cap the rows printed to stdout (files always get all rows)",
+    )
+    sweep_run.add_argument(
+        "--require-cached", action="store_true",
+        help="exit nonzero unless every point was served from the cache "
+             "(CI warm-run assertion)",
+    )
+
+    sweep_sub.add_parser("list", help="list predefined sweeps")
+
+    sweep_report = sweep_sub.add_parser(
+        "report", help="render a previously written sweep report JSON"
+    )
+    sweep_report.add_argument("source", help="path to a <name>.json written by `sweep run --out`")
+    sweep_report.add_argument(
+        "--out", default=None,
+        help="also (re)write <name>.json/.csv/.md report files into this directory",
+    )
+
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_p.add_argument("action", choices=("info", "clear"))
     cache_p.add_argument("--cache-dir", default=None, help="cache root (default .repro_cache)")
@@ -233,6 +339,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "experiments": _cmd_experiments,
+        "sweep": _cmd_sweep,
         "cache": _cmd_cache,
         "render": _cmd_render,
         "simulate": _cmd_simulate,

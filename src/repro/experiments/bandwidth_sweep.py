@@ -7,14 +7,21 @@ memory system across the 17.8-59.7 GB/s practical on-device range cited in
 section 3.2 and beyond, Neo reaches the 60 FPS SLO at a fraction of the
 bandwidth GSCore would need — GSCore stays memory-bound and sub-real-time
 even at 4x the edge budget.
+
+.. note::
+   Since the sweep subsystem landed, this driver is a thin wrapper over
+   :mod:`repro.sweeps`: it declares the bandwidth axis as a
+   :class:`~repro.sweeps.spec.SweepSpec` hardware grid, executes it through
+   the :class:`~repro.sweeps.executor.SweepRunner` (reusing the active
+   :class:`~repro.experiments.runner.RunnerConfig` cache), and pivots the
+   per-system rows back into this experiment's historical one-row-per-
+   bandwidth schema.
 """
 
 from __future__ import annotations
 
-from ..hw.accelerator import NeoModel
-from ..hw.config import DramConfig, GSCoreConfig
-from ..hw.gscore import GSCoreModel
-from .runner import ExperimentResult, get_workload_model
+from ..scene.datasets import MILL19, scene_spec
+from .runner import ExperimentResult, get_runner_config, resolve_frames
 
 BANDWIDTHS_GBPS = (17.8, 25.6, 38.4, 51.2, 76.8, 102.4, 204.8)
 
@@ -26,23 +33,35 @@ def run(
     bandwidths=BANDWIDTHS_GBPS,
 ) -> ExperimentResult:
     """Neo and GSCore FPS across DRAM bandwidths at QHD."""
-    wm = get_workload_model(scene, num_frames=num_frames)
-    w64 = wm.sequence_workloads(resolution, 64)
-    w16 = wm.sequence_workloads(resolution, 16)
-    result = ExperimentResult(
+    from ..sweeps import HardwareConfig, SweepRunner, SweepSpec
+
+    scene = scene_spec(scene).name  # resolve case like the pre-sweep driver did
+    spec = SweepSpec(
         name="bandwidth_sweep",
         description="FPS vs DRAM bandwidth: Neo saturates, GSCore stays memory-bound",
+        scenes=(scene,),
+        trajectories=("flythrough",) if scene in MILL19 else ("orbit",),
+        strategies=("neo",),
+        hardware=tuple(
+            HardwareConfig(system=system, resolution=resolution, bandwidth_gbps=bandwidth)
+            for bandwidth in bandwidths
+            for system in ("neo", "gscore")
+        ),
+        frames=resolve_frames(num_frames),
+        measure_quality=False,
     )
+    sweep = SweepRunner(jobs=1, cache=get_runner_config().cache).run(spec).report
+
+    result = ExperimentResult(name=spec.name, description=spec.description)
     for bandwidth in bandwidths:
-        dram = DramConfig(bandwidth_gbps=bandwidth)
-        neo = NeoModel(dram=dram).simulate(w64, scene=scene)
-        gscore = GSCoreModel(config=GSCoreConfig(), dram=dram).simulate(w16, scene=scene)
+        neo = sweep.filter(system="neo", bandwidth_gbps=float(bandwidth))[0]
+        gscore = sweep.filter(system="gscore", bandwidth_gbps=float(bandwidth))[0]
         result.rows.append(
             {
                 "bandwidth_gbps": bandwidth,
-                "neo_fps": neo.fps,
-                "gscore_fps": gscore.fps,
-                "neo_realtime": neo.fps >= 60.0,
+                "neo_fps": neo["fps"],
+                "gscore_fps": gscore["fps"],
+                "neo_realtime": neo["fps"] >= 60.0,
             }
         )
     return result

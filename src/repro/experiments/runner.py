@@ -240,6 +240,39 @@ def simulate_system(
     return report
 
 
+#: System names :func:`build_system_model` understands.
+SYSTEMS: tuple[str, ...] = ("orin", "orin-neo-sw", "gscore", "neo", "neo-s")
+
+
+def build_system_model(
+    system: str,
+    dram: DramConfig | None = None,
+    cores: int = 16,
+    **model_kwargs,
+):
+    """Instantiate a hardware model by name; returns ``(model, tile_size)``.
+
+    Shared by :func:`simulate_system` and the sweep executor
+    (:mod:`repro.sweeps.executor`).  ASIC models take the given DRAM
+    configuration; the GPU always runs at Orin's native bandwidth.
+    """
+    if dram is None:
+        dram = DramConfig()
+    if system == "orin":
+        model = OrinGpuModel(**model_kwargs)
+    elif system == "orin-neo-sw":
+        model = OrinGpuModel(neo_software=True, **model_kwargs)
+    elif system == "gscore":
+        model = GSCoreModel(config=GSCoreConfig(cores=cores), dram=dram, **model_kwargs)
+    elif system == "neo":
+        model = NeoModel(dram=dram, **model_kwargs)
+    elif system == "neo-s":
+        model = NeoModel(dram=dram, sorting_engine_only=True, **model_kwargs)
+    else:
+        raise KeyError(f"unknown system {system!r}; options: {list(SYSTEMS)}")
+    return model, model.config.tile_size
+
+
 def _simulate_system_uncached(
     system: str,
     scene: str,
@@ -252,22 +285,6 @@ def _simulate_system_uncached(
 ) -> SequenceReport:
     wm = get_workload_model(scene, num_frames=num_frames, speed=speed)
     dram = DramConfig(bandwidth_gbps=bandwidth_gbps)
-    if system == "orin":
-        model = OrinGpuModel(**model_kwargs)
-        tile = model.config.tile_size
-    elif system == "orin-neo-sw":
-        model = OrinGpuModel(neo_software=True, **model_kwargs)
-        tile = model.config.tile_size
-    elif system == "gscore":
-        model = GSCoreModel(config=GSCoreConfig(cores=cores), dram=dram, **model_kwargs)
-        tile = model.config.tile_size
-    elif system == "neo":
-        model = NeoModel(dram=dram, **model_kwargs)
-        tile = model.config.tile_size
-    elif system == "neo-s":
-        model = NeoModel(dram=dram, sorting_engine_only=True, **model_kwargs)
-        tile = model.config.tile_size
-    else:
-        raise KeyError(f"unknown system {system!r}")
+    model, tile = build_system_model(system, dram=dram, cores=cores, **model_kwargs)
     workloads = wm.sequence_workloads(resolution, tile)
     return model.simulate(workloads, scene=scene)

@@ -8,7 +8,7 @@ and the renderer stay pure functions of their inputs.
 """
 
 from .cache import DEFAULT_CACHE_DIR, ResultCache, code_version, stable_key
-from .parallel import ParallelRunner, RunOutcome, parallel_render_sequence
+from .parallel import ParallelRunner, RunOutcome, parallel_map, parallel_render_sequence
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -16,6 +16,7 @@ __all__ = [
     "ResultCache",
     "RunOutcome",
     "code_version",
+    "parallel_map",
     "parallel_render_sequence",
     "stable_key",
 ]

@@ -36,7 +36,7 @@ import numpy as np
 DEFAULT_CACHE_DIR = ".repro_cache"
 
 #: Namespaces with JSON payloads; everything else is pickled.
-_JSON_NAMESPACES = frozenset({"experiments"})
+_JSON_NAMESPACES = frozenset({"experiments", "sweeps"})
 
 _code_version_cache: str | None = None
 
@@ -166,17 +166,36 @@ class ResultCache:
     # Maintenance
     # ------------------------------------------------------------------
     def info(self) -> dict[str, Any]:
-        """Summary of the cache contents for ``repro cache info``."""
+        """Summary of the cache contents for ``repro cache info``.
+
+        A root that was never created (or vanishes mid-scan under a
+        concurrent ``clear``) reports an empty cache rather than raising.
+        """
         namespaces: dict[str, dict[str, int]] = {}
         total_entries = 0
         total_bytes = 0
-        if self.root.exists():
-            for ns_dir in sorted(p for p in self.root.iterdir() if p.is_dir()):
-                entries = [p for p in ns_dir.iterdir() if p.is_file()]
-                size = sum(p.stat().st_size for p in entries)
-                namespaces[ns_dir.name] = {"entries": len(entries), "bytes": size}
-                total_entries += len(entries)
-                total_bytes += size
+        try:
+            ns_dirs = sorted(p for p in self.root.iterdir() if p.is_dir())
+        except OSError:
+            ns_dirs = []  # root never created, not a directory, or deleted mid-scan
+        for ns_dir in ns_dirs:
+            entries = []
+            size = 0
+            try:
+                listing = list(ns_dir.iterdir())
+            except OSError:
+                continue  # namespace removed mid-scan
+            for entry in listing:
+                try:
+                    if not entry.is_file():
+                        continue
+                    size += entry.stat().st_size
+                except OSError:
+                    continue  # deleted between listing and stat
+                entries.append(entry)
+            namespaces[ns_dir.name] = {"entries": len(entries), "bytes": size}
+            total_entries += len(entries)
+            total_bytes += size
         return {
             "root": str(self.root),
             "code_version": code_version(),

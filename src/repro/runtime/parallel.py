@@ -40,6 +40,23 @@ def _mp_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def parallel_map(func, tasks: list, jobs: int) -> list:
+    """Order-preserving map of a picklable function over a task list.
+
+    The shared fan-out primitive behind :class:`ParallelRunner` and the
+    sweep executor (:mod:`repro.sweeps`): ``jobs <= 1`` (or a single task)
+    runs in-process, anything else goes through a :mod:`multiprocessing`
+    pool sized to ``min(jobs, len(tasks))``.  Results always come back in
+    task order regardless of completion order, so callers' merges stay
+    deterministic.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        return [func(task) for task in tasks]
+    ctx = _mp_context()
+    with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
+        return pool.map(func, tasks)
+
+
 # ----------------------------------------------------------------------
 # Experiment-level parallelism
 # ----------------------------------------------------------------------
@@ -126,12 +143,7 @@ class ParallelRunner:
 
         cache_root = str(self.cache.root) if self.cache else None
         tasks = [(name, self.frames, cache_root) for name in misses]
-        if tasks and self.jobs > 1:
-            ctx = _mp_context()
-            with ctx.Pool(processes=min(self.jobs, len(tasks))) as pool:
-                raw = pool.map(_experiment_worker, tasks)
-        else:
-            raw = [_experiment_worker(task) for task in tasks]
+        raw = parallel_map(_experiment_worker, tasks, self.jobs)
 
         for name, result_name, description, rows, elapsed in raw:
             result = ExperimentResult(name=result_name, description=description, rows=rows)

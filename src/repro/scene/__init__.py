@@ -5,6 +5,8 @@ from .datasets import (
     MILL19,
     SCENE_SPECS,
     TANKS_AND_TEMPLES,
+    TRAJECTORY_ARCHETYPES,
+    archetype_trajectory,
     default_trajectory,
     load_scene,
     scene_spec,
@@ -25,6 +27,8 @@ from .trajectory import (
     iter_frame_pairs,
     orbit_trajectory,
     pan_trajectory,
+    shake_trajectory,
+    teleport_trajectory,
 )
 
 __all__ = [
@@ -40,7 +44,9 @@ __all__ = [
     "SCENE_SPECS",
     "SceneSpec",
     "TANKS_AND_TEMPLES",
+    "TRAJECTORY_ARCHETYPES",
     "TrajectoryConfig",
+    "archetype_trajectory",
     "build_covariances",
     "default_trajectory",
     "dolly_trajectory",
@@ -59,4 +65,6 @@ __all__ = [
     "rgb_to_sh_dc",
     "scene_spec",
     "sh_basis",
+    "shake_trajectory",
+    "teleport_trajectory",
 ]

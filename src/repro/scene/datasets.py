@@ -19,7 +19,15 @@ import numpy as np
 
 from .camera import Camera
 from .synthetic import ClusterSpec, SceneSpec, generate_scene
-from .trajectory import TrajectoryConfig, flythrough_trajectory, orbit_trajectory
+from .trajectory import (
+    TrajectoryConfig,
+    dolly_trajectory,
+    flythrough_trajectory,
+    orbit_trajectory,
+    pan_trajectory,
+    shake_trajectory,
+    teleport_trajectory,
+)
 from .gaussians import GaussianScene
 
 #: Scenes from the Tanks and Temples dataset used across Figs. 3, 5-7, 15-16.
@@ -203,6 +211,97 @@ def load_scene(name: str, num_gaussians: int | None = None) -> GaussianScene:
     return generate_scene(scene_spec(name), num_gaussians=num_gaussians)
 
 
+#: Trajectory archetypes :func:`archetype_trajectory` can build for any scene.
+TRAJECTORY_ARCHETYPES: tuple[str, ...] = (
+    "orbit",
+    "dolly",
+    "pan",
+    "flythrough",
+    "shake",
+    "teleport",
+)
+
+
+def archetype_trajectory(
+    name: str,
+    archetype: str,
+    num_frames: int = 60,
+    speed: float = 1.0,
+    width: int = 1280,
+    height: int = 720,
+) -> list[Camera]:
+    """Build a named camera-motion archetype sized to a scene preset.
+
+    Every archetype is parameterized by the preset's ``camera_radius`` /
+    ``extent`` / ``depth_spread`` so the same motion style transfers across
+    scenes: ``orbit`` and ``flythrough`` reproduce the default captures,
+    ``dolly``/``pan`` isolate translation and rotation, and
+    ``shake``/``teleport`` are abrupt-motion stress cases (tremor jitter and
+    zero-coherence viewpoint jumps).
+    """
+    spec = scene_spec(name)
+    config = TrajectoryConfig(
+        num_frames=num_frames, speed=speed, width=width, height=height
+    )
+    radius = spec.camera_radius
+    far = spec.depth_spread * 20.0
+    center = np.zeros(3)
+    if archetype == "orbit":
+        return orbit_trajectory(
+            center=center,
+            radius=radius,
+            config=config,
+            height_offset=radius * 0.2,
+            far=far,
+        )
+    if archetype == "dolly":
+        return dolly_trajectory(
+            start=np.array([radius * 1.6, radius * 0.25, 0.0]),
+            end=np.array([radius * 0.5, radius * 0.1, 0.0]),
+            target=center,
+            config=config,
+            far=far,
+        )
+    if archetype == "pan":
+        return pan_trajectory(
+            eye=np.array([radius, radius * 0.2, 0.0]),
+            initial_target=center,
+            config=config,
+            far=far,
+        )
+    if archetype == "flythrough":
+        altitude = spec.extent * 0.5
+        waypoints = np.array(
+            [
+                [-radius, altitude, -radius],
+                [radius, altitude, -radius * 0.3],
+                [radius * 0.4, altitude * 0.8, radius],
+                [-radius, altitude, radius * 0.5],
+            ]
+        )
+        return flythrough_trajectory(waypoints, config, far=max(far, 2000.0))
+    if archetype == "shake":
+        return shake_trajectory(
+            eye=np.array([radius, radius * 0.2, 0.0]),
+            target=center,
+            config=config,
+            amplitude=radius * 0.03,
+            far=far,
+        )
+    if archetype == "teleport":
+        return teleport_trajectory(
+            center=center,
+            radius=radius,
+            config=config,
+            hold_frames=2,
+            height_offset=radius * 0.2,
+            far=far,
+        )
+    raise KeyError(
+        f"unknown trajectory archetype {archetype!r}; options: {list(TRAJECTORY_ARCHETYPES)}"
+    )
+
+
 def default_trajectory(
     name: str,
     num_frames: int = 60,
@@ -215,26 +314,7 @@ def default_trajectory(
     Tanks-and-Temples scenes use a slow inward-looking orbit (matching the
     hand-held circling captures); Mill-19 scenes use an aerial flythrough.
     """
-    spec = scene_spec(name)
-    config = TrajectoryConfig(
-        num_frames=num_frames, speed=speed, width=width, height=height
-    )
-    if spec.name in MILL19:
-        radius = spec.camera_radius
-        altitude = spec.extent * 0.5
-        waypoints = np.array(
-            [
-                [-radius, altitude, -radius],
-                [radius, altitude, -radius * 0.3],
-                [radius * 0.4, altitude * 0.8, radius],
-                [-radius, altitude, radius * 0.5],
-            ]
-        )
-        return flythrough_trajectory(waypoints, config)
-    return orbit_trajectory(
-        center=np.zeros(3),
-        radius=spec.camera_radius,
-        config=config,
-        height_offset=spec.camera_radius * 0.2,
-        far=spec.depth_spread * 20.0,
+    archetype = "flythrough" if scene_spec(name).name in MILL19 else "orbit"
+    return archetype_trajectory(
+        name, archetype, num_frames=num_frames, speed=speed, width=width, height=height
     )

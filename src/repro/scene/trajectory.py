@@ -193,6 +193,81 @@ def flythrough_trajectory(
     return cameras
 
 
+def shake_trajectory(
+    eye: np.ndarray,
+    target: np.ndarray,
+    config: TrajectoryConfig,
+    amplitude: float = 0.25,
+    frequency_hz: float = 9.0,
+    capture_fps: float = 30.0,
+    far: float = 1000.0,
+) -> list[Camera]:
+    """Hand-shake stress: the eye jitters around a fixed pose.
+
+    Three incommensurate sinusoids (one per axis, frequencies in the 7-12 Hz
+    band of physiological tremor) displace the eye while the camera keeps
+    fixating ``target``.  Per-frame viewpoint deltas are abrupt and
+    non-monotone — the opposite of the smooth captures the reuse chain is
+    tuned for — which stresses reordering without changing the visible set
+    much.  ``config.speed`` scales elapsed time per frame, so faster
+    playback yields larger (aliased) per-frame jumps.
+    """
+    eye = np.asarray(eye, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if amplitude < 0:
+        raise ValueError("amplitude must be non-negative")
+    if frequency_hz <= 0 or capture_fps <= 0:
+        raise ValueError("frequency_hz and capture_fps must be positive")
+    omega = 2.0 * np.pi * frequency_hz
+    cameras = []
+    for i in range(config.num_frames):
+        t = i * config.speed / capture_fps
+        offset = amplitude * np.array(
+            [
+                np.sin(omega * t),
+                0.6 * np.sin(omega * 1.31 * t + 1.7),
+                0.8 * np.sin(omega * 0.77 * t + 0.5),
+            ]
+        )
+        cameras.append(_camera_at(eye + offset, target, config, far))
+    return cameras
+
+
+def teleport_trajectory(
+    center: np.ndarray,
+    radius: float,
+    config: TrajectoryConfig,
+    hold_frames: int = 4,
+    jump_degrees: float = 60.0,
+    height_offset: float = 0.0,
+    far: float | None = None,
+) -> list[Camera]:
+    """Discontinuous orbit: hold a pose, then jump a large arc at once.
+
+    The camera sits at orbit positions around ``center`` but advances in
+    steps of ``jump_degrees * config.speed`` every ``hold_frames`` frames
+    instead of gliding.  Held frames have perfect temporal coherence; jump
+    frames have almost none (scene-cut / viewpoint-warp stress), probing
+    recovery behaviour rather than steady-state reuse.
+    """
+    center = np.asarray(center, dtype=np.float64)
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    if hold_frames < 1:
+        raise ValueError("hold_frames must be >= 1")
+    if far is None:
+        far = radius * 20.0
+    jump = np.radians(jump_degrees * config.speed)
+    cameras = []
+    for i in range(config.num_frames):
+        angle = jump * (i // hold_frames)
+        eye = center + np.array(
+            [radius * np.cos(angle), height_offset, radius * np.sin(angle)]
+        )
+        cameras.append(_camera_at(eye, center, config, far))
+    return cameras
+
+
 def iter_frame_pairs(cameras: list[Camera]) -> Iterator[tuple[Camera, Camera]]:
     """Yield consecutive ``(previous, current)`` camera pairs."""
     for prev, cur in zip(cameras, cameras[1:]):

@@ -1,0 +1,118 @@
+"""Predefined sweep specifications.
+
+Each entry is a ready-to-run :class:`~repro.sweeps.spec.SweepSpec` sized so
+the whole grid completes in seconds-to-minutes on a laptop core.  They
+double as worked examples of the spec schema — ``repro sweep run --spec
+<name>`` executes one, and any of them can be dumped to JSON
+(``SweepSpec.to_json``), edited, and run back from the file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .spec import HardwareConfig, SweepSpec
+
+#: Name -> spec for `repro sweep list/run`.
+PREDEFINED: dict[str, SweepSpec] = {
+    "smoke": SweepSpec(
+        name="smoke",
+        description="Tiny 2-point sweep for CI and tests (orbit vs teleport on Neo).",
+        scenes=("family",),
+        num_gaussians=(256,),
+        trajectories=("orbit", "teleport"),
+        strategies=("neo",),
+        hardware=(HardwareConfig(system="neo", resolution="hd"),),
+        frames=4,
+        capture_width=240,
+        capture_height=135,
+        render_width=128,
+        render_height=72,
+    ),
+    "neo_vs_baselines": SweepSpec(
+        name="neo_vs_baselines",
+        description=(
+            "All five sorting strategies on the default orbit capture: "
+            "quality and sorting traffic of Neo vs full/periodic/background/"
+            "hierarchical (Fig. 19 axis, sweep form)."
+        ),
+        scenes=("family", "train"),
+        num_gaussians=(512,),
+        trajectories=("orbit",),
+        strategies=("full", "periodic", "background", "hierarchical", "neo"),
+        hardware=(HardwareConfig(system="neo", resolution="qhd"),),
+        frames=6,
+        capture_width=240,
+        capture_height=135,
+    ),
+    "motion_stress": SweepSpec(
+        name="motion_stress",
+        description=(
+            "Neo under camera-motion stress: smooth orbit vs pan vs tremor "
+            "shake vs zero-coherence teleports, at normal and rapid speeds "
+            "(Fig. 17b axis plus the new abrupt-motion archetypes)."
+        ),
+        scenes=("family",),
+        num_gaussians=(384,),
+        trajectories=("orbit", "pan", "shake", "teleport"),
+        speeds=(1.0, 4.0),
+        strategies=("neo",),
+        hardware=(HardwareConfig(system="neo", resolution="hd"),),
+        frames=5,
+        capture_width=240,
+        capture_height=135,
+        render_width=128,
+        render_height=72,
+    ),
+    "scaling": SweepSpec(
+        name="scaling",
+        description=(
+            "Gaussian-count scaling on a normal and a large aerial scene: "
+            "hardware-model throughput and traffic only (no quality render)."
+        ),
+        scenes=("family", "building"),
+        num_gaussians=(256, 512, 1024),
+        trajectories=("orbit",),
+        strategies=("neo",),
+        hardware=(
+            HardwareConfig(system="neo", resolution="qhd"),
+            HardwareConfig(system="gscore", resolution="qhd"),
+        ),
+        frames=4,
+        capture_width=240,
+        capture_height=135,
+        measure_quality=False,
+    ),
+}
+
+
+def list_sweep_specs() -> list[str]:
+    """Names of all predefined sweeps, sorted."""
+    return sorted(PREDEFINED)
+
+
+def get_sweep_spec(name: str) -> SweepSpec:
+    """Look up a predefined sweep by name."""
+    key = name.lower()
+    if key not in PREDEFINED:
+        raise KeyError(f"unknown sweep {name!r}; options: {list_sweep_specs()}")
+    return PREDEFINED[key]
+
+
+def resolve_spec(source: str) -> SweepSpec:
+    """Resolve a CLI ``--spec`` argument: predefined name or JSON file path."""
+    if source.lower() in PREDEFINED:
+        return PREDEFINED[source.lower()]
+    path = Path(source)
+    if path.suffix == ".json" or path.exists():
+        if not path.exists():
+            raise FileNotFoundError(f"sweep spec file not found: {source}")
+        try:
+            return SweepSpec.from_dict(json.loads(path.read_text(encoding="utf-8")))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"sweep spec {source} is not valid JSON: {exc}") from exc
+    raise KeyError(
+        f"unknown sweep {source!r}: not a predefined name ({list_sweep_specs()}) "
+        "and not a .json spec file"
+    )

@@ -1,0 +1,350 @@
+"""Declarative scenario-sweep specifications.
+
+A :class:`SweepSpec` names a cartesian grid over the repo's workload axes —
+scene presets (optionally with ``num_gaussians`` scaling), trajectory
+archetypes, sorting strategies, and hardware configurations — plus the
+shared capture parameters (frames, resolutions).  Specs parse from plain
+dicts or JSON, validate every axis against the live registries, and expand
+into an ordered list of :class:`SweepPoint`\\ s, each of which is one
+independently cacheable unit of work for the executor.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any
+
+from ..experiments.runner import SYSTEMS
+from ..hw.config import EDGE_BANDWIDTH_GBPS
+from ..scene.camera import RESOLUTIONS
+from ..scene.datasets import SCENE_SPECS, TRAJECTORY_ARCHETYPES
+
+#: Sorting strategies a sweep point may render with (names understood by
+#: :func:`repro.core.strategies.make_strategy`; ``neo`` is the
+#: :class:`~repro.core.reuse_update.ReuseUpdateSorter`).
+STRATEGIES: tuple[str, ...] = ("full", "periodic", "background", "hierarchical", "neo")
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """One hardware point on the sweep grid.
+
+    Parameters
+    ----------
+    system:
+        Performance model to run (``orin``, ``orin-neo-sw``, ``gscore``,
+        ``neo``, ``neo-s``).
+    resolution:
+        Named target resolution the workload is scaled to.
+    bandwidth_gbps:
+        DRAM bandwidth for the ASIC models (the GPU always runs at Orin's
+        native bandwidth).
+    cores:
+        Sorting-core count for GSCore sweeps.
+    """
+
+    system: str = "neo"
+    resolution: str = "qhd"
+    bandwidth_gbps: float = EDGE_BANDWIDTH_GBPS
+    cores: int = 16
+
+    def __post_init__(self) -> None:
+        # Normalize before validating so equivalent inputs ("NEO", 52 vs
+        # 52.0) produce identical configs and therefore identical cache keys.
+        object.__setattr__(self, "system", str(self.system).lower())
+        object.__setattr__(self, "resolution", str(self.resolution).lower())
+        object.__setattr__(self, "bandwidth_gbps", float(self.bandwidth_gbps))
+        object.__setattr__(self, "cores", int(self.cores))
+        if self.system not in SYSTEMS:
+            raise ValueError(f"unknown system {self.system!r}; options: {list(SYSTEMS)}")
+        if self.resolution not in RESOLUTIONS:
+            raise ValueError(
+                f"unknown resolution {self.resolution!r}; options: {sorted(RESOLUTIONS)}"
+            )
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth_gbps must be positive")
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+
+    @property
+    def label(self) -> str:
+        """Compact identifier used in report rows."""
+        return f"{self.system}@{self.bandwidth_gbps:g}GBps/{self.resolution}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-ready)."""
+        return {
+            "system": self.system,
+            "resolution": self.resolution,
+            "bandwidth_gbps": self.bandwidth_gbps,
+            "cores": self.cores,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "HardwareConfig":
+        """Build from a plain dict, rejecting unknown keys."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"hardware entry must be a dict, got {type(payload).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown hardware keys {unknown}; options: {sorted(known)}")
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully resolved grid point: everything needed to evaluate it.
+
+    Points are picklable (they cross the process boundary for parallel
+    execution) and hashable, and :meth:`cache_payload` gives the stable
+    parameter dict the result cache keys them by.
+    """
+
+    index: int
+    scene: str
+    num_gaussians: int | None
+    trajectory: str
+    speed: float
+    strategy: str
+    hardware: HardwareConfig
+    frames: int
+    capture_width: int
+    capture_height: int
+    render_width: int
+    render_height: int
+    measure_quality: bool
+
+    @property
+    def label(self) -> str:
+        """Human-readable identifier for logs and report rows."""
+        gaussians = "default" if self.num_gaussians is None else str(self.num_gaussians)
+        return (
+            f"{self.scene}[{gaussians}]/{self.trajectory}x{self.speed:g}"
+            f"/{self.strategy}/{self.hardware.label}"
+        )
+
+    def cache_payload(self) -> dict[str, Any]:
+        """Stable parameter dict for :func:`repro.runtime.cache.stable_key`.
+
+        Deliberately excludes ``index`` (a point's identity is its
+        parameters, not its position in the grid) so reordering or slicing
+        a spec never invalidates previously computed points.
+        """
+        return {
+            "kind": "sweep-point",
+            "scene": self.scene,
+            "num_gaussians": self.num_gaussians,
+            "trajectory": self.trajectory,
+            "speed": self.speed,
+            "strategy": self.strategy,
+            "hardware": self.hardware.to_dict(),
+            "frames": self.frames,
+            "capture": [self.capture_width, self.capture_height],
+            "render": [self.render_width, self.render_height],
+            "measure_quality": self.measure_quality,
+        }
+
+
+def _as_tuple(value: Any) -> tuple:
+    if isinstance(value, (list, tuple)):
+        return tuple(value)
+    return (value,)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of a scenario sweep.
+
+    Every ``*s`` field is one grid axis; :meth:`points` expands the full
+    cartesian product in a deterministic order.  Scalars are accepted
+    wherever an axis is expected (``scenes="family"`` means a single-entry
+    axis), and lists are normalized to tuples so specs stay hashable.
+
+    Parameters
+    ----------
+    name / description:
+        Identity for registries, reports and file names.
+    scenes:
+        Scene preset names from :data:`repro.scene.datasets.SCENE_SPECS`.
+    num_gaussians:
+        Functional Gaussian counts to instantiate (``None`` keeps each
+        preset's default) — the scaling axis.
+    trajectories:
+        Archetypes from :data:`repro.scene.datasets.TRAJECTORY_ARCHETYPES`.
+    speeds:
+        Camera-motion multipliers (Fig. 17b-style rapid-movement stress).
+    strategies:
+        Sorting strategies from :data:`STRATEGIES`.
+    hardware:
+        :class:`HardwareConfig` grid entries.
+    frames:
+        Frames per sequence (shared by all points).
+    capture_width / capture_height:
+        Resolution the workload-model geometry is captured at.
+    render_width / render_height:
+        Resolution of the functional quality render.
+    measure_quality:
+        When false, points skip the functional render (and its PSNR/SSIM
+        columns) and only run the hardware models — much cheaper for
+        hardware-axis sweeps like the bandwidth study.
+    """
+
+    name: str
+    description: str = ""
+    scenes: tuple[str, ...] = ("family",)
+    num_gaussians: tuple[int | None, ...] = (None,)
+    trajectories: tuple[str, ...] = ("orbit",)
+    speeds: tuple[float, ...] = (1.0,)
+    strategies: tuple[str, ...] = ("neo",)
+    hardware: tuple[HardwareConfig, ...] = field(default_factory=lambda: (HardwareConfig(),))
+    frames: int = 6
+    capture_width: int = 480
+    capture_height: int = 270
+    render_width: int = 160
+    render_height: int = 90
+    measure_quality: bool = True
+
+    def __post_init__(self) -> None:
+        for axis in ("scenes", "num_gaussians", "trajectories", "speeds", "strategies",
+                     "hardware"):
+            object.__setattr__(self, axis, _as_tuple(getattr(self, axis)))
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("spec needs a non-empty name")
+        # Normalize for stable cache keys: equivalent spellings of the same
+        # grid ("Family", speed 2 vs 2.0, hardware given as dicts) must
+        # expand to identical points.
+        for axis in ("scenes", "trajectories", "strategies"):
+            object.__setattr__(
+                self, axis, tuple(str(v).lower() for v in getattr(self, axis))
+            )
+        object.__setattr__(self, "speeds", tuple(float(s) for s in self.speeds))
+        object.__setattr__(
+            self,
+            "hardware",
+            tuple(
+                hw if isinstance(hw, HardwareConfig) else HardwareConfig.from_dict(hw)
+                for hw in self.hardware
+            ),
+        )
+        for axis in ("scenes", "num_gaussians", "trajectories", "speeds", "strategies",
+                     "hardware"):
+            if not getattr(self, axis):
+                raise ValueError(f"axis {axis!r} must have at least one entry")
+        unknown = sorted(set(self.scenes) - set(SCENE_SPECS))
+        if unknown:
+            raise ValueError(f"unknown scenes {unknown}; options: {sorted(SCENE_SPECS)}")
+        unknown = sorted(set(self.trajectories) - set(TRAJECTORY_ARCHETYPES))
+        if unknown:
+            raise ValueError(
+                f"unknown trajectories {unknown}; options: {list(TRAJECTORY_ARCHETYPES)}"
+            )
+        unknown = sorted(set(self.strategies) - set(STRATEGIES))
+        if unknown:
+            raise ValueError(f"unknown strategies {unknown}; options: {list(STRATEGIES)}")
+        for count in self.num_gaussians:
+            if count is not None and (not isinstance(count, int) or count < 8):
+                raise ValueError(f"num_gaussians entries must be ints >= 8 or null, got {count!r}")
+        for speed in self.speeds:
+            if speed <= 0:
+                raise ValueError("speeds must be positive")
+        if self.frames < 2:
+            raise ValueError("frames must be >= 2 (churn metrics need a predecessor)")
+        for dim in (self.capture_width, self.capture_height,
+                    self.render_width, self.render_height):
+            if dim < 16:
+                raise ValueError("capture/render dimensions must be >= 16 px")
+
+    # ------------------------------------------------------------------
+    # Grid expansion
+    # ------------------------------------------------------------------
+    @property
+    def num_points(self) -> int:
+        """Grid size (product of axis lengths) without materializing it."""
+        return (
+            len(self.scenes)
+            * len(self.num_gaussians)
+            * len(self.trajectories)
+            * len(self.speeds)
+            * len(self.strategies)
+            * len(self.hardware)
+        )
+
+    def points(self) -> list[SweepPoint]:
+        """Expand the cartesian grid in deterministic axis-major order."""
+        grid = itertools.product(
+            self.scenes,
+            self.num_gaussians,
+            self.trajectories,
+            self.speeds,
+            self.strategies,
+            self.hardware,
+        )
+        return [
+            SweepPoint(
+                index=i,
+                scene=scene,
+                num_gaussians=count,
+                trajectory=trajectory,
+                speed=speed,
+                strategy=strategy,
+                hardware=hardware,
+                frames=self.frames,
+                capture_width=self.capture_width,
+                capture_height=self.capture_height,
+                render_width=self.render_width,
+                render_height=self.render_height,
+                measure_quality=self.measure_quality,
+            )
+            for i, (scene, count, trajectory, speed, strategy, hardware) in enumerate(grid)
+        ]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical plain-dict form (JSON-ready, round-trips)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "scenes": list(self.scenes),
+            "num_gaussians": list(self.num_gaussians),
+            "trajectories": list(self.trajectories),
+            "speeds": list(self.speeds),
+            "strategies": list(self.strategies),
+            "hardware": [hw.to_dict() for hw in self.hardware],
+            "frames": self.frames,
+            "capture_width": self.capture_width,
+            "capture_height": self.capture_height,
+            "render_width": self.render_width,
+            "render_height": self.render_height,
+            "measure_quality": self.measure_quality,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SweepSpec":
+        """Build a validated spec from a plain dict, rejecting unknown keys."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"sweep spec must be a dict, got {type(payload).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown sweep-spec keys {unknown}; options: {sorted(known)}")
+        # __post_init__ normalizes axes, including hardware entries given as
+        # plain dicts.
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        """Parse a spec from a JSON document."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"sweep spec is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def to_json(self) -> str:
+        """Serialize to a stable, human-editable JSON document."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)

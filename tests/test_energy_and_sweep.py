@@ -85,3 +85,9 @@ class TestBandwidthSweep:
         from repro.experiments import list_experiments
 
         assert "bandwidth_sweep" in list_experiments()
+
+    def test_scene_case_insensitive(self):
+        # Regression for the sweep port: the old driver resolved scene case
+        # through scene_spec(); the wrapper must keep doing so.
+        result = bandwidth_sweep.run(scene="Family", num_frames=2, bandwidths=(51.2,))
+        assert result.rows[0]["neo_fps"] > 0

@@ -15,8 +15,18 @@ from repro.experiments.runner import (
 )
 from repro.hw.workload import WorkloadModel
 from repro.pipeline.renderer import Renderer
-from repro.runtime import ParallelRunner, ResultCache, code_version, stable_key
+from repro.runtime import ParallelRunner, ResultCache, code_version, parallel_map, stable_key
 from repro.runtime.parallel import _contiguous_shards
+
+
+def _square(x):
+    return x * x
+
+
+def _pid(_):
+    import os
+
+    return os.getpid()
 
 
 def _assert_records_identical(serial, parallel):
@@ -143,6 +153,61 @@ class TestResultCache:
         path.write_bytes(b"\x00not a pickle")
         assert cache.get("reports", payload) is None
 
+    def test_info_on_never_created_root(self, tmp_path):
+        # Regression: `repro cache info` must report an empty cache, not
+        # raise, when the cache directory has never been created.
+        cache = ResultCache(tmp_path / "never_created")
+        info = cache.info()
+        assert info["total_entries"] == 0
+        assert info["total_bytes"] == 0
+        assert info["namespaces"] == {}
+        assert not (tmp_path / "never_created").exists()  # info() creates nothing
+
+    def test_info_ignores_entries_deleted_mid_scan(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("experiments", {"n": 1}, {"rows": []})
+        cache.put("experiments", {"n": 2}, {"rows": []})
+
+        # Simulate a concurrent `cache clear`: the first stat on each entry
+        # (the is_file probe) succeeds, the second (st_size) finds the file
+        # already gone.
+        real_stat = Path.stat
+        probed = set()
+
+        def racing_stat(self, **kwargs):
+            result = real_stat(self, **kwargs)
+            if self.suffix == ".json":
+                if self in probed:
+                    raise FileNotFoundError(self)
+                probed.add(self)
+            return result
+
+        monkeypatch.setattr(Path, "stat", racing_stat)
+        info = cache.info()
+        assert info["total_entries"] == 0
+
+    def test_info_survives_namespace_dir_deleted_mid_scan(self, tmp_path, monkeypatch):
+        import shutil
+        from pathlib import Path
+
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("experiments", {"n": 1}, {"rows": []})
+
+        # Concurrent `cache clear` removes the namespace directory between
+        # the root listing and the namespace listing.
+        real_iterdir = Path.iterdir
+
+        def racing_iterdir(self):
+            if self.name == "experiments":
+                shutil.rmtree(self)
+            return real_iterdir(self)
+
+        monkeypatch.setattr(Path, "iterdir", racing_iterdir)
+        info = cache.info()
+        assert info["total_entries"] == 0
+
 
 class TestRunnerConfig:
     def test_resolve_frames_default_and_override(self):
@@ -234,6 +299,22 @@ class TestParallelRunner:
             ParallelRunner(jobs=1, cache=None).run(["fig99"])
 
 
+class TestParallelMap:
+    def test_serial_and_parallel_agree_in_order(self):
+        tasks = list(range(7))
+        serial = parallel_map(_square, tasks, jobs=1)
+        parallel = parallel_map(_square, tasks, jobs=3)
+        assert serial == parallel == [t * t for t in tasks]
+
+    def test_single_task_stays_in_process(self):
+        import os
+
+        assert parallel_map(_pid, [None], jobs=8) == [os.getpid()]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+
 class TestCli:
     def test_experiments_cold_then_warm(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")
@@ -276,6 +357,15 @@ class TestCli:
 
         assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
         assert "(empty)" in capsys.readouterr().out
+
+    def test_cache_info_on_missing_dir(self, tmp_path, capsys):
+        # Regression: must print an empty summary, not crash, when the
+        # cache directory was never created.
+        rc = main(["cache", "info", "--cache-dir", str(tmp_path / "never")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "(empty)" in out
+        assert "total:        0 entries" in out
 
     def test_no_cache_flag_skips_cache_writes(self, tmp_path, capsys):
         cache_dir = tmp_path / "cache"

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.scene.datasets import TRAJECTORY_ARCHETYPES, archetype_trajectory, default_trajectory
 from repro.scene.trajectory import (
     TrajectoryConfig,
     dolly_trajectory,
@@ -10,6 +11,8 @@ from repro.scene.trajectory import (
     iter_frame_pairs,
     orbit_trajectory,
     pan_trajectory,
+    shake_trajectory,
+    teleport_trajectory,
 )
 
 
@@ -112,6 +115,88 @@ class TestFlythrough:
             flythrough_trajectory(np.zeros((3, 3)), TrajectoryConfig(num_frames=3))
         with pytest.raises(ValueError):
             flythrough_trajectory(np.zeros((1, 3)), TrajectoryConfig(num_frames=3))
+
+
+class TestShake:
+    def test_jitters_around_base_pose(self):
+        eye = np.array([5.0, 1.0, 0.0])
+        cams = shake_trajectory(eye, np.zeros(3), TrajectoryConfig(num_frames=12),
+                                amplitude=0.2)
+        assert len(cams) == 12
+        offsets = np.array([cam.position - eye for cam in cams])
+        # Bounded by the amplitude envelope but genuinely non-monotone.
+        assert np.abs(offsets).max() <= 0.2 + 1e-9
+        assert np.abs(offsets).max() > 0.01
+        steps = np.linalg.norm(np.diff([c.position for c in cams], axis=0), axis=1)
+        assert (steps > 0).all()
+
+    def test_zero_amplitude_is_static(self):
+        cams = shake_trajectory(np.array([3.0, 0.0, 0.0]), np.zeros(3),
+                                TrajectoryConfig(num_frames=4), amplitude=0.0)
+        for cam in cams[1:]:
+            assert np.allclose(cam.position, cams[0].position)
+
+    def test_validation(self):
+        config = TrajectoryConfig(num_frames=2)
+        with pytest.raises(ValueError):
+            shake_trajectory(np.zeros(3), np.ones(3), config, amplitude=-0.1)
+        with pytest.raises(ValueError):
+            shake_trajectory(np.zeros(3), np.ones(3), config, frequency_hz=0.0)
+
+
+class TestTeleport:
+    def test_holds_then_jumps(self):
+        cams = teleport_trajectory(np.zeros(3), radius=5.0,
+                                   config=TrajectoryConfig(num_frames=8),
+                                   hold_frames=4, jump_degrees=90.0)
+        positions = np.array([c.position for c in cams])
+        # Frames 0-3 identical, then one large discontinuity, then 4-7 identical.
+        assert np.allclose(positions[:4], positions[0])
+        assert np.allclose(positions[4:], positions[4])
+        jump = np.linalg.norm(positions[4] - positions[3])
+        assert jump > 5.0  # 90 degrees on a radius-5 orbit is a ~7 unit chord
+        for cam in cams:
+            assert np.linalg.norm(cam.position) == pytest.approx(5.0)
+
+    def test_speed_scales_jump(self):
+        slow = teleport_trajectory(np.zeros(3), 5.0, TrajectoryConfig(num_frames=4, speed=1.0),
+                                   hold_frames=1, jump_degrees=10.0)
+        fast = teleport_trajectory(np.zeros(3), 5.0, TrajectoryConfig(num_frames=4, speed=4.0),
+                                   hold_frames=1, jump_degrees=10.0)
+        step_slow = np.linalg.norm(slow[1].position - slow[0].position)
+        step_fast = np.linalg.norm(fast[1].position - fast[0].position)
+        assert step_fast > 3.5 * step_slow
+
+    def test_validation(self):
+        config = TrajectoryConfig(num_frames=2)
+        with pytest.raises(ValueError):
+            teleport_trajectory(np.zeros(3), 0.0, config)
+        with pytest.raises(ValueError):
+            teleport_trajectory(np.zeros(3), 5.0, config, hold_frames=0)
+
+
+class TestArchetypes:
+    def test_every_archetype_builds_for_every_scene_family(self):
+        for scene in ("family", "building"):
+            for archetype in TRAJECTORY_ARCHETYPES:
+                cams = archetype_trajectory(scene, archetype, num_frames=3,
+                                            width=160, height=90)
+                assert len(cams) == 3
+                assert cams[0].width == 160
+
+    def test_default_trajectory_is_an_archetype(self):
+        # The refactor must preserve the historical default captures exactly.
+        for scene, archetype in (("family", "orbit"), ("building", "flythrough")):
+            default = default_trajectory(scene, num_frames=4, width=160, height=90)
+            named = archetype_trajectory(scene, archetype, num_frames=4,
+                                         width=160, height=90)
+            for a, b in zip(default, named):
+                assert np.allclose(a.position, b.position)
+                assert np.allclose(a.world_to_camera, b.world_to_camera)
+
+    def test_unknown_archetype(self):
+        with pytest.raises(KeyError):
+            archetype_trajectory("family", "spiral", num_frames=2)
 
 
 class TestIterFramePairs:
