@@ -4,7 +4,9 @@ Usage::
 
     repro list                            # available experiments/scenes
     repro run fig15                       # regenerate one figure/table
-    repro experiments --all --jobs 4      # parallel + disk-cached runs
+    repro experiments --list              # experiment ids + descriptions
+    repro experiments --all --jobs 4      # engine: cell dedup + parallel fan-out
+    repro experiments --all --only 'fig1*' --out out/   # subset + artifacts
     repro experiments fig03 --no-cache    # force recomputation
     repro sweep list                      # predefined scenario sweeps
     repro sweep run --spec motion_stress --jobs 4 --out out/
@@ -20,7 +22,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 
 import numpy as np
 
@@ -47,8 +48,14 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_experiments(args) -> int:
-    from .experiments import list_experiments
-    from .runtime import ParallelRunner, ResultCache
+    from .experiments import experiment_descriptions, list_experiments
+    from .experiments.engine import ExperimentEngine
+    from .runtime import ResultCache
+
+    if args.list:
+        for name, description in experiment_descriptions().items():
+            print(f"{name:16s} {description}")
+        return 0
 
     if args.all:
         names = list_experiments()
@@ -58,31 +65,57 @@ def _cmd_experiments(args) -> int:
         print("error: name at least one experiment or pass --all", file=sys.stderr)
         return 2
 
+    if args.only:
+        import fnmatch
+
+        patterns = [p.strip() for p in args.only.split(",") if p.strip()]
+        names = [
+            n for n in names if any(fnmatch.fnmatch(n.lower(), p.lower()) for p in patterns)
+        ]
+        if not names:
+            print(f"error: no selected experiment matches --only {args.only!r}",
+                  file=sys.stderr)
+            return 2
+
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = ParallelRunner(jobs=args.jobs, frames=args.frames, cache=cache)
-    start = time.perf_counter()
+    engine = ExperimentEngine(jobs=args.jobs, frames=args.frames, cache=cache)
     try:
-        outcomes = runner.run(names)
+        run = engine.run(names)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    elapsed = time.perf_counter() - start
 
-    for outcome in outcomes:
+    for outcome in run.outcomes:
         print(outcome.result.to_text())
         origin = "cache hit" if outcome.from_cache else f"computed in {outcome.elapsed_s:.2f}s"
         print(f"-- {outcome.name}: {origin}")
         print()
-    hits = sum(1 for o in outcomes if o.from_cache)
+    hits = sum(1 for o in run.outcomes if o.from_cache)
+    cells = run.cells
     print(
-        f"{len(outcomes)} experiment(s) in {elapsed:.2f}s wall "
+        f"{len(run.outcomes)} experiment(s) in {run.elapsed_s:.2f}s wall "
         f"(jobs={args.jobs}, {hits} from cache, cache "
         f"{'disabled' if cache is None else 'at ' + str(cache.root)})"
     )
+    if cells.requested:
+        print(
+            f"cells: {cells.requested} declared, {cells.unique} unique "
+            f"({cells.deduplicated} deduped across figures), "
+            f"{cells.hits} cache hits, {cells.computed} simulated"
+        )
+    if args.out:
+        _write_experiment_files(run.outcomes, args.out)
     if args.json:
         payload = {
-            "elapsed_s": elapsed,
+            "elapsed_s": run.elapsed_s,
             "jobs": args.jobs,
+            "cells": {
+                "declared": cells.requested,
+                "unique": cells.unique,
+                "deduplicated": cells.deduplicated,
+                "cache_hits": cells.hits,
+                "simulated": cells.computed,
+            },
             "experiments": [
                 {
                     "name": o.name,
@@ -90,13 +123,38 @@ def _cmd_experiments(args) -> int:
                     "elapsed_s": o.elapsed_s,
                     "rows": o.result.rows,
                 }
-                for o in outcomes
+                for o in run.outcomes
             ],
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json}")
+    if args.require_cached and not run.all_cached:
+        recomputed = sum(1 for o in run.outcomes if not o.from_cache)
+        print(
+            f"error: --require-cached but {recomputed} experiment(s) were recomputed "
+            f"({cells.computed} cell(s) simulated)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
+
+
+def _write_experiment_files(outcomes, out_dir: str) -> None:
+    """Write <name>.json/.csv artifacts under ``out_dir`` and announce them.
+
+    Artifacts are deterministic — a pure function of (result, code version) —
+    so serial/parallel and cold/warm runs write byte-identical files.
+    """
+    import os
+
+    for outcome in outcomes:
+        base = os.path.join(out_dir, outcome.result.name)
+        for path in (
+            outcome.result.write_json(base + ".json"),
+            outcome.result.write_csv(base + ".csv"),
+        ):
+            print(f"wrote {path}")
 
 
 def _cmd_sweep(args) -> int:
@@ -255,18 +313,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp_p = sub.add_parser(
         "experiments",
-        help="run experiments through the parallel, disk-cached runtime",
+        help="run experiments through the shared plan/execute engine "
+             "(cross-figure cell dedup, cell-granular parallelism, disk cache)",
     )
     exp_p.add_argument("names", nargs="*", help="experiment ids (e.g. fig15 table2)")
     exp_p.add_argument("--all", action="store_true", help="run every registered experiment")
-    exp_p.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    exp_p.add_argument(
+        "--list", action="store_true",
+        help="list registered experiments with their one-line descriptions",
+    )
+    exp_p.add_argument(
+        "--only", default=None,
+        help="comma-separated glob filter on the selected ids (e.g. 'fig1*,table*')",
+    )
+    exp_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for cell-granular fan-out (default 1)",
+    )
     exp_p.add_argument(
         "--frames", type=int, default=None,
         help="override frames per sequence (drivers with pinned frame counts ignore it)",
     )
     exp_p.add_argument("--no-cache", action="store_true", help="bypass the result cache")
     exp_p.add_argument("--cache-dir", default=None, help="cache root (default .repro_cache)")
+    exp_p.add_argument(
+        "--out", default=None,
+        help="directory to write deterministic per-experiment <name>.json/.csv artifacts into",
+    )
     exp_p.add_argument("--json", default=None, help="also write results/timings to a JSON file")
+    exp_p.add_argument(
+        "--require-cached", action="store_true",
+        help="exit nonzero unless every experiment was served from the cache "
+             "(CI warm-run assertion)",
+    )
 
     sweep_p = sub.add_parser(
         "sweep",

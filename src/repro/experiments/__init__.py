@@ -1,6 +1,20 @@
-"""Experiment drivers: one module per paper table/figure."""
+"""Experiment drivers: one module per paper table/figure, one shared engine."""
 
-from .registry import EXPERIMENTS, list_experiments, run_experiment
+from .engine import (
+    CellResults,
+    ExperimentEngine,
+    ExperimentPlan,
+    SimJob,
+    execute_cells,
+    execute_plan,
+)
+from .registry import (
+    EXPERIMENTS,
+    PLANS,
+    experiment_descriptions,
+    list_experiments,
+    run_experiment,
+)
 from .runner import (
     DEFAULT_FRAMES,
     PAPER_TRAFFIC_FRAMES,
@@ -17,9 +31,17 @@ from .runner import (
 __all__ = [
     "DEFAULT_FRAMES",
     "EXPERIMENTS",
+    "PLANS",
+    "CellResults",
+    "ExperimentEngine",
+    "ExperimentPlan",
     "ExperimentResult",
     "PAPER_TRAFFIC_FRAMES",
     "RunnerConfig",
+    "SimJob",
+    "execute_cells",
+    "execute_plan",
+    "experiment_descriptions",
     "get_runner_config",
     "get_workload_model",
     "list_experiments",

@@ -21,9 +21,64 @@ even at 4x the edge budget.
 from __future__ import annotations
 
 from ..scene.datasets import MILL19, scene_spec
+from .engine import ExperimentPlan, execute_plan
 from .runner import ExperimentResult, get_runner_config, resolve_frames
 
 BANDWIDTHS_GBPS = (17.8, 25.6, 38.4, 51.2, 76.8, 102.4, 204.8)
+
+DESCRIPTION = "FPS vs DRAM bandwidth: Neo saturates, GSCore stays memory-bound"
+
+
+def plan(
+    scene: str = "family",
+    resolution: str = "qhd",
+    num_frames: int | None = None,
+    bandwidths=BANDWIDTHS_GBPS,
+) -> ExperimentPlan:
+    """No engine cells: delegates to the sweep executor (same shared core).
+
+    The sweep's point grid is built inside ``aggregate`` because its frame
+    count and cache come from the :class:`~repro.experiments.runner.
+    RunnerConfig` active at *execution* time, not at plan-build time.
+    """
+
+    def aggregate(_cells) -> ExperimentResult:
+        from ..sweeps import HardwareConfig, SweepRunner, SweepSpec
+
+        resolved = scene_spec(scene).name  # resolve case like the pre-sweep driver did
+        spec = SweepSpec(
+            name="bandwidth_sweep",
+            description=DESCRIPTION,
+            scenes=(resolved,),
+            trajectories=("flythrough",) if resolved in MILL19 else ("orbit",),
+            strategies=("neo",),
+            hardware=tuple(
+                HardwareConfig(
+                    system=system, resolution=resolution, bandwidth_gbps=bandwidth
+                )
+                for bandwidth in bandwidths
+                for system in ("neo", "gscore")
+            ),
+            frames=resolve_frames(num_frames),
+            measure_quality=False,
+        )
+        sweep = SweepRunner(jobs=1, cache=get_runner_config().cache).run(spec).report
+
+        result = ExperimentResult(name=spec.name, description=spec.description)
+        for bandwidth in bandwidths:
+            neo = sweep.filter(system="neo", bandwidth_gbps=float(bandwidth))[0]
+            gscore = sweep.filter(system="gscore", bandwidth_gbps=float(bandwidth))[0]
+            result.rows.append(
+                {
+                    "bandwidth_gbps": bandwidth,
+                    "neo_fps": neo["fps"],
+                    "gscore_fps": gscore["fps"],
+                    "neo_realtime": neo["fps"] >= 60.0,
+                }
+            )
+        return result
+
+    return ExperimentPlan("bandwidth_sweep", DESCRIPTION, (), aggregate)
 
 
 def run(
@@ -33,38 +88,9 @@ def run(
     bandwidths=BANDWIDTHS_GBPS,
 ) -> ExperimentResult:
     """Neo and GSCore FPS across DRAM bandwidths at QHD."""
-    from ..sweeps import HardwareConfig, SweepRunner, SweepSpec
-
-    scene = scene_spec(scene).name  # resolve case like the pre-sweep driver did
-    spec = SweepSpec(
-        name="bandwidth_sweep",
-        description="FPS vs DRAM bandwidth: Neo saturates, GSCore stays memory-bound",
-        scenes=(scene,),
-        trajectories=("flythrough",) if scene in MILL19 else ("orbit",),
-        strategies=("neo",),
-        hardware=tuple(
-            HardwareConfig(system=system, resolution=resolution, bandwidth_gbps=bandwidth)
-            for bandwidth in bandwidths
-            for system in ("neo", "gscore")
-        ),
-        frames=resolve_frames(num_frames),
-        measure_quality=False,
+    return execute_plan(
+        plan(scene=scene, resolution=resolution, num_frames=num_frames, bandwidths=bandwidths)
     )
-    sweep = SweepRunner(jobs=1, cache=get_runner_config().cache).run(spec).report
-
-    result = ExperimentResult(name=spec.name, description=spec.description)
-    for bandwidth in bandwidths:
-        neo = sweep.filter(system="neo", bandwidth_gbps=float(bandwidth))[0]
-        gscore = sweep.filter(system="gscore", bandwidth_gbps=float(bandwidth))[0]
-        result.rows.append(
-            {
-                "bandwidth_gbps": bandwidth,
-                "neo_fps": neo["fps"],
-                "gscore_fps": gscore["fps"],
-                "neo_realtime": neo["fps"] >= 60.0,
-            }
-        )
-    return result
 
 
 def realtime_bandwidth(result: ExperimentResult, system: str = "neo", slo_fps: float = 60.0) -> float:

@@ -1,0 +1,584 @@
+"""Plan/execute core shared by every experiment driver and the sweep executor.
+
+Every figure/table driver used to hand-code a serial loop over independent
+:func:`~repro.experiments.runner.simulate_system` cells.  This module splits
+that into a *plan* — an :class:`ExperimentPlan` declaring the grid of
+:class:`SimJob` cells plus a pure ``aggregate(cells) -> ExperimentResult``
+function — and an *execution core* that collects cells from one or many
+experiments at once, dedupes identical cells across figures (fig03/fig04/
+fig15/table2 all re-simulate overlapping GSCore/Neo cells), serves hits from
+the :class:`~repro.runtime.cache.ResultCache`, and fans misses out through
+:func:`~repro.runtime.parallel.parallel_map` with the runtime's
+parallel-vs-serial byte-identical contract.
+
+Layering::
+
+    repro experiments (CLI) --> ExperimentEngine --+
+    repro sweep run   (CLI) --> SweepRunner  ------+--> execute_cells
+                                                        (dedup, cache probe,
+                                                         parallel fan-out,
+                                                         ordered merge)
+
+:func:`execute_cells` is the single fan-out primitive: anything with a
+``cache_spec()`` (a :class:`SimJob`, a whole-experiment task, a sweep
+``SweepPoint``) can be batched through it.  Aggregation stays in the parent
+process and is pure, so serial, parallel, cold, and warm executions all
+produce row-identical :class:`~repro.experiments.runner.ExperimentResult`\\ s.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable, Iterator, Mapping
+
+from ..runtime.cache import ResultCache, stable_key
+from ..runtime.parallel import parallel_map
+from .runner import (
+    DEFAULT_FRAMES,
+    ExperimentResult,
+    RunnerConfig,
+    resolve_frames,
+    runner_config,
+    simulate_system,
+)
+
+
+# ----------------------------------------------------------------------
+# SimJob: one simulation cell
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SimJob:
+    """One (system, scene, resolution, ...) simulation cell.
+
+    A value object: two jobs with equal parameters are the *same* cell, which
+    is what lets the engine dedupe overlapping cells across experiments.
+    ``frames=None`` means "the active config's frame count" and is pinned via
+    :meth:`resolved` before execution, so cells declared by different figures
+    with different spellings of the default still collapse.
+
+    ``model_kwargs`` holds extra keyword arguments for the system model as a
+    sorted tuple of items (hashable); use :meth:`make` to build jobs with
+    plain keyword arguments.
+    """
+
+    system: str
+    scene: str
+    resolution: str
+    frames: int | None = None
+    speed: float = 1.0
+    cores: int = 16
+    bandwidth_gbps: float = 51.2
+    model_kwargs: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalize numeric spellings (4 vs 4.0) so equal cells hash equal.
+        object.__setattr__(self, "speed", float(self.speed))
+        object.__setattr__(self, "cores", int(self.cores))
+        object.__setattr__(self, "bandwidth_gbps", float(self.bandwidth_gbps))
+        if not isinstance(self.model_kwargs, tuple):
+            object.__setattr__(
+                self, "model_kwargs", tuple(sorted(dict(self.model_kwargs).items()))
+            )
+
+    @classmethod
+    def make(
+        cls,
+        system: str,
+        scene: str,
+        resolution: str,
+        *,
+        frames: int | None = None,
+        speed: float = 1.0,
+        cores: int = 16,
+        bandwidth_gbps: float = 51.2,
+        **model_kwargs,
+    ) -> "SimJob":
+        """Build a job with model kwargs given as plain keyword arguments."""
+        return cls(
+            system,
+            scene,
+            resolution,
+            frames,
+            speed,
+            cores,
+            bandwidth_gbps,
+            tuple(sorted(model_kwargs.items())),
+        )
+
+    @property
+    def kwargs(self) -> dict[str, Any]:
+        """``model_kwargs`` as a plain dict."""
+        return dict(self.model_kwargs)
+
+    def resolved(self) -> "SimJob":
+        """This job with ``frames=None`` pinned to the active config."""
+        if self.frames is not None:
+            return self
+        return SimJob(
+            self.system,
+            self.scene,
+            self.resolution,
+            resolve_frames(None),
+            self.speed,
+            self.cores,
+            self.bandwidth_gbps,
+            self.model_kwargs,
+        )
+
+    def cache_payload(self) -> dict[str, Any]:
+        """Parameter dict matching :func:`simulate_system`'s report cache key.
+
+        Kept field-for-field identical so engine-simulated cells and direct
+        ``simulate_system`` calls share disk cache entries.
+        """
+        if self.frames is None:
+            raise ValueError("cache_payload() needs concrete frames; call resolved() first")
+        return {
+            "kind": "report",
+            "system": self.system,
+            "scene": self.scene,
+            "resolution": self.resolution,
+            "frames": self.frames,
+            "speed": self.speed,
+            "cores": self.cores,
+            "bandwidth": self.bandwidth_gbps,
+            "kwargs": self.kwargs,
+        }
+
+    def cache_spec(self) -> tuple[str, dict[str, Any]]:
+        """(namespace, payload) for :func:`execute_cells`."""
+        return "reports", self.cache_payload()
+
+    def simulate(self):
+        """Evaluate this cell through :func:`simulate_system` (active config)."""
+        return simulate_system(
+            self.system,
+            self.scene,
+            self.resolution,
+            num_frames=self.frames,
+            speed=self.speed,
+            cores=self.cores,
+            bandwidth_gbps=self.bandwidth_gbps,
+            **self.kwargs,
+        )
+
+
+class CellResults(Mapping):
+    """Cell reports keyed by :class:`SimJob`, tolerant of unresolved frames.
+
+    Aggregate functions look cells up with the same job objects their plan
+    declared; jobs declared with ``frames=None`` are resolved against the
+    active config on lookup, mirroring what the engine did at dispatch time.
+    """
+
+    def __init__(self, reports: dict[SimJob, Any]) -> None:
+        self._reports = reports
+
+    def __getitem__(self, job: SimJob):
+        return self._reports[job.resolved()]
+
+    def __iter__(self) -> Iterator[SimJob]:
+        return iter(self._reports)
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+
+# ----------------------------------------------------------------------
+# ExperimentPlan: declarative driver
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """One experiment's declared cells plus its pure aggregation function.
+
+    ``aggregate`` receives a :class:`CellResults` mapping covering (at least)
+    ``cells`` and returns the finished
+    :class:`~repro.experiments.runner.ExperimentResult`.  It must be pure with
+    respect to the cell reports — all simulation happens through the engine —
+    but drivers whose work is not cell-shaped (functional renders, analytic
+    tables) may compute everything inside ``aggregate`` and declare no cells.
+
+    Plan construction must stay cheap and config-independent: defer anything
+    touching the active :class:`~repro.experiments.runner.RunnerConfig` into
+    ``aggregate`` or cell execution.
+    """
+
+    name: str
+    description: str
+    cells: tuple[SimJob, ...]
+    aggregate: Callable[[CellResults], ExperimentResult]
+
+
+def execute_plan(plan: ExperimentPlan) -> ExperimentResult:
+    """Evaluate one plan in-process under the active config (serial path).
+
+    This is what every driver's ``run()`` delegates to: cells are deduped
+    within the plan and evaluated through :func:`simulate_system` (so the
+    active config's cache and the in-process workload memo apply exactly as
+    they did before the plan/execute split), then aggregated.
+    """
+    reports: dict[SimJob, Any] = {}
+    for job in plan.cells:
+        resolved = job.resolved()
+        if resolved not in reports:
+            reports[resolved] = resolved.simulate()
+    return plan.aggregate(CellResults(reports))
+
+
+# ----------------------------------------------------------------------
+# execute_cells: the shared fan-out primitive
+# ----------------------------------------------------------------------
+@dataclass
+class CellBatch:
+    """Outcome of one :func:`execute_cells` call.
+
+    ``values`` and ``from_cache`` align with the input cell list (duplicates
+    included); ``keys`` carries each cell's stable cache key so callers can
+    compute their own per-subset statistics.
+    """
+
+    values: list[Any]
+    from_cache: list[bool]
+    keys: list[str]
+    requested: int
+    unique: int
+    hits: int
+    computed: int
+    elapsed_s: float
+
+    @property
+    def deduplicated(self) -> int:
+        """Cells served by another identical cell in the same batch."""
+        return self.requested - self.unique
+
+
+def execute_cells(
+    cells: list,
+    evaluate: Callable[[Any], Any],
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    store: bool = True,
+) -> CellBatch:
+    """Evaluate a batch of cells: dedup, cache probe, parallel fan-out, merge.
+
+    Each cell must provide ``cache_spec() -> (namespace, payload)`` and be
+    picklable; ``evaluate`` must be a picklable callable (workers receive the
+    cell objects).  Identical cells — equal stable cache keys — are evaluated
+    once and their value is shared; previously cached cells never reach a
+    worker.  Results come back aligned with the input order, so callers'
+    merges are deterministic regardless of ``jobs``.
+
+    ``store=False`` skips the parent-side cache write for computed cells —
+    for callers whose ``evaluate`` already persists its own result (the
+    engine's workers write through ``simulate_system``), avoiding a second
+    serialization of every report.
+    """
+    start = time.perf_counter()
+    keys: list[str] = []
+    spec_by_key: dict[str, tuple[str, dict[str, Any]]] = {}
+    unique_cells: dict[str, Any] = {}
+    for cell in cells:
+        namespace, payload = cell.cache_spec()
+        key = stable_key(payload)
+        keys.append(key)
+        if key not in unique_cells:
+            unique_cells[key] = cell
+            spec_by_key[key] = (namespace, payload)
+
+    values: dict[str, Any] = {}
+    cached_keys: set[str] = set()
+    misses: list[tuple[str, Any]] = []
+    for key, cell in unique_cells.items():
+        namespace, payload = spec_by_key[key]
+        cached = cache.get(namespace, payload) if cache is not None else None
+        if cached is not None:
+            values[key] = cached
+            cached_keys.add(key)
+        else:
+            misses.append((key, cell))
+
+    computed = parallel_map(evaluate, [cell for _, cell in misses], jobs)
+    for (key, _), value in zip(misses, computed):
+        values[key] = value
+        if store and cache is not None:
+            namespace, payload = spec_by_key[key]
+            cache.put(namespace, payload, value)
+
+    return CellBatch(
+        values=[values[key] for key in keys],
+        from_cache=[key in cached_keys for key in keys],
+        keys=keys,
+        requested=len(cells),
+        unique=len(unique_cells),
+        hits=len(cached_keys),
+        computed=len(misses),
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+# ----------------------------------------------------------------------
+# ExperimentEngine: multi-experiment orchestration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentTask:
+    """A whole experiment dispatched by registry name.
+
+    Used for plans with no declared cells (functional renders, analytic
+    tables): their work is not cell-shaped, so the engine runs the entire
+    driver in a worker — through the same :func:`execute_cells` batch as the
+    simulation cells, cached under the ``experiments`` namespace.
+    """
+
+    name: str
+    frames: int | None
+
+    def cache_spec(self) -> tuple[str, dict[str, Any]]:
+        return "experiments", {
+            "kind": "experiment",
+            "name": self.name,
+            "frames": DEFAULT_FRAMES if self.frames is None else self.frames,
+        }
+
+
+def _evaluate_engine_task(task, frames: int | None = None, cache_root: str | None = None):
+    """Worker body shared by cell and whole-experiment tasks.
+
+    Installs the engine's :class:`~repro.experiments.runner.RunnerConfig` so
+    workload captures and nested ``simulate_system`` calls hit the same disk
+    cache the parent uses (configs don't survive the process boundary).
+    Persistence happens here, worker-side — ``simulate_system`` writes cell
+    reports, whole-experiment results are put explicitly — so the engine's
+    :func:`execute_cells` batch runs with ``store=False`` and nothing is
+    serialized twice.
+    """
+    cache = ResultCache(cache_root) if cache_root is not None else None
+    with runner_config(RunnerConfig(frames=frames, cache=cache)):
+        if isinstance(task, SimJob):
+            return task.simulate()
+        from . import registry
+
+        start = time.perf_counter()
+        result = registry.EXPERIMENTS[task.name]()
+        value = {"name": result.name, "description": result.description, "rows": result.rows}
+        if cache is not None:
+            cache.put(*task.cache_spec(), value)
+        return {**value, "elapsed_s": time.perf_counter() - start}
+
+
+@dataclass
+class CellStats:
+    """Simulation-cell accounting for one engine run."""
+
+    requested: int = 0
+    unique: int = 0
+    hits: int = 0
+    computed: int = 0
+
+    @property
+    def deduplicated(self) -> int:
+        """Cells that another experiment (or loop) had already declared."""
+        return self.requested - self.unique
+
+
+@dataclass
+class EngineOutcome:
+    """One experiment's result plus provenance for reporting."""
+
+    name: str
+    result: ExperimentResult
+    elapsed_s: float
+    from_cache: bool
+
+
+@dataclass
+class EngineRun:
+    """All outcomes of one engine invocation plus cell-level statistics."""
+
+    outcomes: list[EngineOutcome]
+    cells: CellStats
+    elapsed_s: float
+
+    @property
+    def all_cached(self) -> bool:
+        """True when every experiment was served whole from the result cache."""
+        return all(outcome.from_cache for outcome in self.outcomes)
+
+
+@dataclass
+class ExperimentEngine:
+    """Collects cells from many experiments, dedupes, and fans out once.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for cache-miss evaluation; ``1`` runs in-process.
+        Parallelism is cell-granular: one fig15 GSCore cell and one fig16 Neo
+        cell can run side by side even though they belong to different
+        figures.
+    frames:
+        Frame-count override threaded into the
+        :class:`~repro.experiments.runner.RunnerConfig` every cell and
+        aggregate runs under (``None`` keeps driver defaults).
+    cache:
+        Result cache for cells (``reports``), workload captures
+        (``workloads``), and whole experiment results (``experiments``);
+        ``None`` disables persistence.
+    """
+
+    jobs: int = 1
+    frames: int | None = None
+    cache: ResultCache | None = field(default_factory=ResultCache)
+
+    # ------------------------------------------------------------------
+    # Registry-level entry point
+    # ------------------------------------------------------------------
+    def run(self, names: list[str]) -> EngineRun:
+        """Run registered experiments by name; output order matches input.
+
+        Whole-result cache hits skip planning entirely; everything else is
+        planned, cross-figure-deduped, and executed through one
+        :func:`execute_cells` batch.
+        """
+        from . import registry
+
+        start = time.perf_counter()
+        unknown = [n for n in names if n.lower() not in registry.EXPERIMENTS]
+        if unknown:
+            raise KeyError(
+                f"unknown experiments {unknown}; options: {sorted(registry.EXPERIMENTS)}"
+            )
+        names = [n.lower() for n in names]
+
+        outcomes: dict[str, EngineOutcome] = {}
+        plans: list[ExperimentPlan] = []
+        for name in dict.fromkeys(names):  # preserve order, drop repeats
+            task = ExperimentTask(name, self.frames)
+            cached = self.cache.get(*task.cache_spec()) if self.cache else None
+            if cached is not None:
+                result = ExperimentResult(
+                    name=cached["name"],
+                    description=cached["description"],
+                    rows=cached["rows"],
+                )
+                outcomes[name] = EngineOutcome(name, result, elapsed_s=0.0, from_cache=True)
+            else:
+                plans.append(registry.PLANS[name]())
+
+        planned, stats = self._execute_plans(plans, dispatch_cell_less_by_name=True)
+        for plan in plans:
+            outcomes[plan.name] = planned[id(plan)]
+        return EngineRun(
+            outcomes=[outcomes[name] for name in names],
+            cells=stats,
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    def run_plans(self, plans: list[ExperimentPlan]) -> EngineRun:
+        """Run explicit plans (e.g. parameterized ones tests build directly).
+
+        No whole-result caching — plans are arbitrary, so only their cells
+        are cached — and cell-less plans aggregate in the parent process.
+        Plans are tracked by identity, so two differently-parameterized plans
+        sharing a name each keep their own outcome slot.
+        """
+        start = time.perf_counter()
+        planned, stats = self._execute_plans(list(plans), dispatch_cell_less_by_name=False)
+        return EngineRun(
+            outcomes=[planned[id(plan)] for plan in plans],
+            cells=stats,
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    # Shared execution
+    # ------------------------------------------------------------------
+    def _execute_plans(
+        self,
+        plans: list[ExperimentPlan],
+        dispatch_cell_less_by_name: bool,
+    ) -> tuple[dict[int, EngineOutcome], CellStats]:
+        """Execute plans; returns outcomes keyed by plan identity plus stats."""
+        outcomes: dict[int, EngineOutcome] = {}
+        if not plans:
+            return outcomes, CellStats()
+        cache_root = str(self.cache.root) if self.cache else None
+        with runner_config(RunnerConfig(frames=self.frames, cache=self.cache)):
+            cell_plans = [plan for plan in plans if plan.cells]
+            whole_plans = [plan for plan in plans if not plan.cells]
+
+            sim_cells = [job.resolved() for plan in cell_plans for job in plan.cells]
+            tasks: list[Any] = list(sim_cells)
+            if dispatch_cell_less_by_name:
+                tasks += [ExperimentTask(plan.name, self.frames) for plan in whole_plans]
+
+            # store=False: the worker persists everything itself (cells via
+            # simulate_system, whole results explicitly), so the parent never
+            # serializes a report a second time.
+            batch = execute_cells(
+                tasks,
+                evaluate=partial(
+                    _evaluate_engine_task, frames=self.frames, cache_root=cache_root
+                ),
+                jobs=self.jobs,
+                cache=self.cache,
+                store=False,
+            )
+
+            n_sim = len(sim_cells)
+            reports = dict(zip(sim_cells, batch.values[:n_sim]))
+            cells = CellResults(reports)
+            for plan in cell_plans:
+                t0 = time.perf_counter()
+                result = plan.aggregate(cells)
+                outcomes[id(plan)] = EngineOutcome(
+                    plan.name, result, time.perf_counter() - t0, from_cache=False
+                )
+                if dispatch_cell_less_by_name:
+                    # Registry path: plans are the default ones, so the whole
+                    # result is safely keyed by (name, frames).  Explicit
+                    # (possibly parameterized) plans only cache their cells.
+                    self._store_whole_result(plan.name, result)
+
+            if dispatch_cell_less_by_name:
+                for plan, value in zip(whole_plans, batch.values[n_sim:]):
+                    result = ExperimentResult(
+                        name=value["name"],
+                        description=value["description"],
+                        rows=value["rows"],
+                    )
+                    outcomes[id(plan)] = EngineOutcome(
+                        plan.name,
+                        result,
+                        elapsed_s=value.get("elapsed_s", 0.0),
+                        from_cache=False,
+                    )
+            else:
+                for plan in whole_plans:
+                    t0 = time.perf_counter()
+                    result = plan.aggregate(CellResults({}))
+                    outcomes[id(plan)] = EngineOutcome(
+                        plan.name, result, time.perf_counter() - t0, from_cache=False
+                    )
+
+            sim_keys = batch.keys[:n_sim]
+            sim_flags = batch.from_cache[:n_sim]
+            unique_hits = {k for k, hit in zip(sim_keys, sim_flags) if hit}
+            unique_sim = set(sim_keys)
+            return outcomes, CellStats(
+                requested=n_sim,
+                unique=len(unique_sim),
+                hits=len(unique_hits),
+                computed=len(unique_sim) - len(unique_hits),
+            )
+
+    def _store_whole_result(self, name: str, result: ExperimentResult) -> None:
+        """Cache an aggregated result so warm runs skip planning entirely."""
+        if self.cache is None:
+            return
+        task = ExperimentTask(name, self.frames)
+        self.cache.put(
+            *task.cache_spec(),
+            {"name": result.name, "description": result.description, "rows": result.rows},
+        )

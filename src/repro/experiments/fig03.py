@@ -7,9 +7,43 @@ above the 60 FPS SLO at HD, collapsing at FHD and QHD.
 from __future__ import annotations
 
 from ..scene.datasets import TANKS_AND_TEMPLES
-from .runner import ExperimentResult, simulate_system
+from .engine import ExperimentPlan, SimJob, execute_plan
+from .runner import ExperimentResult
 
 RESOLUTIONS = ("hd", "fhd", "qhd")
+
+DESCRIPTION = "GSCore throughput (FPS) at HD/FHD/QHD, 4 cores @ 51.2 GB/s"
+
+
+def plan(
+    scenes=TANKS_AND_TEMPLES,
+    num_frames: int | None = None,
+    cores: int = 4,
+    bandwidth_gbps: float = 51.2,
+) -> ExperimentPlan:
+    """Declare the (scene, resolution) GSCore grid plus its aggregation."""
+    cells = tuple(
+        SimJob(
+            "gscore",
+            scene,
+            resolution,
+            frames=num_frames,
+            cores=cores,
+            bandwidth_gbps=bandwidth_gbps,
+        )
+        for scene in scenes
+        for resolution in RESOLUTIONS
+    )
+
+    def aggregate(reports) -> ExperimentResult:
+        result = ExperimentResult(name="fig03", description=DESCRIPTION)
+        for job in cells:
+            result.rows.append(
+                {"scene": job.scene, "resolution": job.resolution, "fps": reports[job].fps}
+            )
+        return result
+
+    return ExperimentPlan("fig03", DESCRIPTION, cells, aggregate)
 
 
 def run(
@@ -19,21 +53,6 @@ def run(
     bandwidth_gbps: float = 51.2,
 ) -> ExperimentResult:
     """GSCore FPS per scene per resolution (paper config: 4 cores, 51.2 GB/s)."""
-    result = ExperimentResult(
-        name="fig03",
-        description="GSCore throughput (FPS) at HD/FHD/QHD, 4 cores @ 51.2 GB/s",
+    return execute_plan(
+        plan(scenes=scenes, num_frames=num_frames, cores=cores, bandwidth_gbps=bandwidth_gbps)
     )
-    for scene in scenes:
-        for resolution in RESOLUTIONS:
-            report = simulate_system(
-                "gscore",
-                scene,
-                resolution,
-                num_frames=num_frames,
-                cores=cores,
-                bandwidth_gbps=bandwidth_gbps,
-            )
-            result.rows.append(
-                {"scene": scene, "resolution": resolution, "fps": report.fps}
-            )
-    return result

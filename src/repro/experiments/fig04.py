@@ -10,39 +10,63 @@ from __future__ import annotations
 import numpy as np
 
 from ..scene.datasets import TANKS_AND_TEMPLES
-from .runner import ExperimentResult, simulate_system
+from .engine import ExperimentPlan, SimJob, execute_plan
+from .runner import ExperimentResult
 
 CORE_COUNTS = (4, 8, 16)
 BANDWIDTHS_GBPS = (51.2, 102.4, 204.8)
 
+DESCRIPTION = "GSCore QHD FPS vs. core count and DRAM bandwidth"
+
+
+def plan(scenes=TANKS_AND_TEMPLES, num_frames: int | None = None) -> ExperimentPlan:
+    """Declare the (bandwidth, cores, scene) GSCore grid at QHD."""
+    cells = tuple(
+        SimJob(
+            "gscore",
+            scene,
+            "qhd",
+            frames=num_frames,
+            cores=cores,
+            bandwidth_gbps=bandwidth,
+        )
+        for bandwidth in BANDWIDTHS_GBPS
+        for cores in CORE_COUNTS
+        for scene in scenes
+    )
+
+    def aggregate(reports) -> ExperimentResult:
+        result = ExperimentResult(name="fig04", description=DESCRIPTION)
+        for bandwidth in BANDWIDTHS_GBPS:
+            for cores in CORE_COUNTS:
+                fps = [
+                    reports[
+                        SimJob(
+                            "gscore",
+                            scene,
+                            "qhd",
+                            frames=num_frames,
+                            cores=cores,
+                            bandwidth_gbps=bandwidth,
+                        )
+                    ].fps
+                    for scene in scenes
+                ]
+                result.rows.append(
+                    {
+                        "bandwidth_gbps": bandwidth,
+                        "cores": cores,
+                        "fps": float(np.mean(fps)),
+                    }
+                )
+        return result
+
+    return ExperimentPlan("fig04", DESCRIPTION, cells, aggregate)
+
 
 def run(scenes=TANKS_AND_TEMPLES, num_frames: int | None = None) -> ExperimentResult:
     """Mean GSCore FPS at QHD for every (cores, bandwidth) combination."""
-    result = ExperimentResult(
-        name="fig04",
-        description="GSCore QHD FPS vs. core count and DRAM bandwidth",
-    )
-    for bandwidth in BANDWIDTHS_GBPS:
-        for cores in CORE_COUNTS:
-            fps = [
-                simulate_system(
-                    "gscore",
-                    scene,
-                    "qhd",
-                    num_frames=num_frames,
-                    cores=cores,
-                    bandwidth_gbps=bandwidth,
-                ).fps
-                for scene in scenes
-            ]
-            result.rows.append(
-                {
-                    "bandwidth_gbps": bandwidth,
-                    "cores": cores,
-                    "fps": float(np.mean(fps)),
-                }
-            )
-    return result
+    return execute_plan(plan(scenes=scenes, num_frames=num_frames))
 
 
 def core_scaling_at(result: ExperimentResult, bandwidth_gbps: float) -> float:

@@ -8,44 +8,55 @@ GSCore traffic at QHD.
 from __future__ import annotations
 
 from ..scene.datasets import TANKS_AND_TEMPLES
-from .runner import (
-    PAPER_TRAFFIC_FRAMES,
-    ExperimentResult,
-    simulate_system,
-)
+from .engine import ExperimentPlan, SimJob, execute_plan
+from .runner import PAPER_TRAFFIC_FRAMES, ExperimentResult
 
 RESOLUTIONS = ("hd", "fhd", "qhd")
 SYSTEMS = ("orin", "gscore")
 
+DESCRIPTION = "DRAM traffic breakdown (GB / 60 frames): GPU vs GSCore"
+
+
+def plan(scenes=TANKS_AND_TEMPLES, num_frames: int | None = None) -> ExperimentPlan:
+    """Declare the (system, resolution, scene) grid for the traffic study."""
+    cells = tuple(
+        SimJob(system, scene, resolution, frames=num_frames)
+        for system in SYSTEMS
+        for resolution in RESOLUTIONS
+        for scene in scenes
+    )
+
+    def aggregate(reports) -> ExperimentResult:
+        result = ExperimentResult(name="fig05", description=DESCRIPTION)
+        for system in SYSTEMS:
+            for resolution in RESOLUTIONS:
+                feature = sorting = raster = 0.0
+                for scene in scenes:
+                    report = reports[SimJob(system, scene, resolution, frames=num_frames)]
+                    scale = PAPER_TRAFFIC_FRAMES / report.num_frames / 1e9
+                    total = report.total_traffic
+                    feature += total.feature_extraction * scale
+                    sorting += total.sorting * scale
+                    raster += total.rasterization * scale
+                n = len(scenes)
+                feature, sorting, raster = feature / n, sorting / n, raster / n
+                total_gb = feature + sorting + raster
+                result.rows.append(
+                    {
+                        "system": system,
+                        "resolution": resolution,
+                        "feature_gb": feature,
+                        "sorting_gb": sorting,
+                        "raster_gb": raster,
+                        "total_gb": total_gb,
+                        "sorting_share": sorting / total_gb if total_gb else 0.0,
+                    }
+                )
+        return result
+
+    return ExperimentPlan("fig05", DESCRIPTION, cells, aggregate)
+
 
 def run(scenes=TANKS_AND_TEMPLES, num_frames: int | None = None) -> ExperimentResult:
     """Stage-level traffic (GB / 60 frames), averaged over scenes."""
-    result = ExperimentResult(
-        name="fig05",
-        description="DRAM traffic breakdown (GB / 60 frames): GPU vs GSCore",
-    )
-    for system in SYSTEMS:
-        for resolution in RESOLUTIONS:
-            feature = sorting = raster = 0.0
-            for scene in scenes:
-                report = simulate_system(system, scene, resolution, num_frames=num_frames)
-                scale = PAPER_TRAFFIC_FRAMES / report.num_frames / 1e9
-                total = report.total_traffic
-                feature += total.feature_extraction * scale
-                sorting += total.sorting * scale
-                raster += total.rasterization * scale
-            n = len(scenes)
-            feature, sorting, raster = feature / n, sorting / n, raster / n
-            total_gb = feature + sorting + raster
-            result.rows.append(
-                {
-                    "system": system,
-                    "resolution": resolution,
-                    "feature_gb": feature,
-                    "sorting_gb": sorting,
-                    "raster_gb": raster,
-                    "total_gb": total_gb,
-                    "sorting_share": sorting / total_gb if total_gb else 0.0,
-                }
-            )
-    return result
+    return execute_plan(plan(scenes=scenes, num_frames=num_frames))

@@ -16,7 +16,10 @@ from ..core.dynamic_partial_sort import (
     max_displacement,
     sortedness,
 )
+from .engine import ExperimentPlan, execute_plan
 from .runner import ExperimentResult
+
+DESCRIPTION = "Fixed vs interleaved chunk boundaries: convergence of partial sorting"
 
 
 def _fixed_boundary_pass(keys: np.ndarray, values: np.ndarray, chunk: int):
@@ -28,6 +31,55 @@ def _fixed_boundary_pass(keys: np.ndarray, values: np.ndarray, chunk: int):
         keys[start:end] = keys[start:end][order]
         values[start:end] = values[start:end][order]
     return keys, values
+
+
+def plan(
+    length: int = 512,
+    chunk_size: int = 64,
+    iterations: int = 8,
+    shuffle_distance: int = 96,
+    seed: int = 7,
+) -> ExperimentPlan:
+    """No simulation cells: a pure numpy convergence study."""
+
+    def aggregate(_cells) -> ExperimentResult:
+        rng = np.random.default_rng(seed)
+        keys = np.arange(length, dtype=np.float64)
+        perturbed = keys + rng.uniform(-shuffle_distance, shuffle_distance, size=length)
+        order = np.argsort(perturbed, kind="stable")
+        start_keys = keys[order]
+        values = np.arange(length, dtype=np.int64)[order]
+
+        result = ExperimentResult(name="fig09", description=DESCRIPTION)
+
+        fixed_keys, fixed_vals = start_keys.copy(), values.copy()
+        inter_keys, inter_vals = start_keys.copy(), values.copy()
+        result.rows.append(
+            {
+                "iteration": 0,
+                "fixed_sortedness": sortedness(fixed_keys),
+                "fixed_max_disp": max_displacement(fixed_keys),
+                "interleaved_sortedness": sortedness(inter_keys),
+                "interleaved_max_disp": max_displacement(inter_keys),
+            }
+        )
+        for iteration in range(1, iterations + 1):
+            fixed_keys, fixed_vals = _fixed_boundary_pass(fixed_keys, fixed_vals, chunk_size)
+            inter_keys, inter_vals, _ = dynamic_partial_sort(
+                inter_keys, inter_vals, iteration=iteration, chunk_size=chunk_size
+            )
+            result.rows.append(
+                {
+                    "iteration": iteration,
+                    "fixed_sortedness": sortedness(fixed_keys),
+                    "fixed_max_disp": max_displacement(fixed_keys),
+                    "interleaved_sortedness": sortedness(inter_keys),
+                    "interleaved_max_disp": max_displacement(inter_keys),
+                }
+            )
+        return result
+
+    return ExperimentPlan("fig09", DESCRIPTION, (), aggregate)
 
 
 def run(
@@ -43,41 +95,12 @@ def run(
     ``shuffle_distance`` of its sorted position, like a mildly-stale Gaussian
     table) and reports sortedness / maximum displacement per iteration.
     """
-    rng = np.random.default_rng(seed)
-    keys = np.arange(length, dtype=np.float64)
-    perturbed = keys + rng.uniform(-shuffle_distance, shuffle_distance, size=length)
-    order = np.argsort(perturbed, kind="stable")
-    start_keys = keys[order]
-    values = np.arange(length, dtype=np.int64)[order]
-
-    result = ExperimentResult(
-        name="fig09",
-        description="Fixed vs interleaved chunk boundaries: convergence of partial sorting",
-    )
-
-    fixed_keys, fixed_vals = start_keys.copy(), values.copy()
-    inter_keys, inter_vals = start_keys.copy(), values.copy()
-    result.rows.append(
-        {
-            "iteration": 0,
-            "fixed_sortedness": sortedness(fixed_keys),
-            "fixed_max_disp": max_displacement(fixed_keys),
-            "interleaved_sortedness": sortedness(inter_keys),
-            "interleaved_max_disp": max_displacement(inter_keys),
-        }
-    )
-    for iteration in range(1, iterations + 1):
-        fixed_keys, fixed_vals = _fixed_boundary_pass(fixed_keys, fixed_vals, chunk_size)
-        inter_keys, inter_vals, _ = dynamic_partial_sort(
-            inter_keys, inter_vals, iteration=iteration, chunk_size=chunk_size
+    return execute_plan(
+        plan(
+            length=length,
+            chunk_size=chunk_size,
+            iterations=iterations,
+            shuffle_distance=shuffle_distance,
+            seed=seed,
         )
-        result.rows.append(
-            {
-                "iteration": iteration,
-                "fixed_sortedness": sortedness(fixed_keys),
-                "fixed_max_disp": max_displacement(fixed_keys),
-                "interleaved_sortedness": sortedness(inter_keys),
-                "interleaved_max_disp": max_displacement(inter_keys),
-            }
-        )
-    return result
+    )

@@ -12,11 +12,52 @@ from __future__ import annotations
 import numpy as np
 
 from ..scene.datasets import TANKS_AND_TEMPLES
-from .runner import (
-    PAPER_TRAFFIC_FRAMES,
-    ExperimentResult,
-    simulate_system,
-)
+from .engine import ExperimentPlan, SimJob, execute_plan
+from .runner import PAPER_TRAFFIC_FRAMES, ExperimentResult
+
+VARIANTS = (("orin", "original-3dgs"), ("orin-neo-sw", "neo-sw"))
+
+DESCRIPTION = "Original 3DGS vs software-only Neo on Orin AGX (QHD)"
+
+
+def plan(
+    scenes=TANKS_AND_TEMPLES,
+    resolution: str = "qhd",
+    num_frames: int | None = None,
+) -> ExperimentPlan:
+    """Declare the (variant, scene) GPU grid for the Neo-SW study."""
+    cells = tuple(
+        SimJob(system, scene, resolution, frames=num_frames)
+        for system, _ in VARIANTS
+        for scene in scenes
+    )
+
+    def aggregate(reports) -> ExperimentResult:
+        result = ExperimentResult(name="fig10", description=DESCRIPTION)
+        for system, label in VARIANTS:
+            latency, feature, sorting, raster = [], [], [], []
+            for scene in scenes:
+                report = reports[SimJob(system, scene, resolution, frames=num_frames)]
+                latency.append(report.mean_latency_s * 1e3)
+                scale = PAPER_TRAFFIC_FRAMES / report.num_frames / 1e9
+                total = report.total_traffic
+                feature.append(total.feature_extraction * scale)
+                sorting.append(total.sorting * scale)
+                raster.append(total.rasterization * scale)
+            total_gb = float(np.mean(feature) + np.mean(sorting) + np.mean(raster))
+            result.rows.append(
+                {
+                    "variant": label,
+                    "latency_ms": float(np.mean(latency)),
+                    "feature_gb": float(np.mean(feature)),
+                    "sorting_gb": float(np.mean(sorting)),
+                    "raster_gb": float(np.mean(raster)),
+                    "total_gb": total_gb,
+                }
+            )
+        return result
+
+    return ExperimentPlan("fig10", DESCRIPTION, cells, aggregate)
 
 
 def run(
@@ -25,32 +66,7 @@ def run(
     num_frames: int | None = None,
 ) -> ExperimentResult:
     """Latency and traffic of original 3DGS vs Neo-SW on the GPU model."""
-    result = ExperimentResult(
-        name="fig10",
-        description="Original 3DGS vs software-only Neo on Orin AGX (QHD)",
-    )
-    for system, label in (("orin", "original-3dgs"), ("orin-neo-sw", "neo-sw")):
-        latency, feature, sorting, raster = [], [], [], []
-        for scene in scenes:
-            report = simulate_system(system, scene, resolution, num_frames=num_frames)
-            latency.append(report.mean_latency_s * 1e3)
-            scale = PAPER_TRAFFIC_FRAMES / report.num_frames / 1e9
-            total = report.total_traffic
-            feature.append(total.feature_extraction * scale)
-            sorting.append(total.sorting * scale)
-            raster.append(total.rasterization * scale)
-        total_gb = float(np.mean(feature) + np.mean(sorting) + np.mean(raster))
-        result.rows.append(
-            {
-                "variant": label,
-                "latency_ms": float(np.mean(latency)),
-                "feature_gb": float(np.mean(feature)),
-                "sorting_gb": float(np.mean(sorting)),
-                "raster_gb": float(np.mean(raster)),
-                "total_gb": total_gb,
-            }
-        )
-    return result
+    return execute_plan(plan(scenes=scenes, resolution=resolution, num_frames=num_frames))
 
 
 def summary(result: ExperimentResult) -> dict[str, float]:

@@ -10,32 +10,47 @@ from __future__ import annotations
 import numpy as np
 
 from ..scene.datasets import TANKS_AND_TEMPLES
-from .runner import ExperimentResult, simulate_system
+from .engine import ExperimentPlan, SimJob, execute_plan
+from .runner import ExperimentResult
 
 RESOLUTIONS = ("hd", "fhd", "qhd")
 SYSTEMS = ("orin", "gscore", "neo")
 
+DESCRIPTION = "End-to-end throughput (FPS): Orin AGX vs GSCore vs Neo"
+
+
+def plan(scenes=TANKS_AND_TEMPLES, num_frames: int | None = None) -> ExperimentPlan:
+    """Declare the (resolution, scene, system) grid for the headline figure."""
+    cells = tuple(
+        SimJob(system, scene, resolution, frames=num_frames)
+        for resolution in RESOLUTIONS
+        for scene in scenes
+        for system in SYSTEMS
+    )
+
+    def aggregate(reports) -> ExperimentResult:
+        result = ExperimentResult(name="fig15", description=DESCRIPTION)
+        for resolution in RESOLUTIONS:
+            per_system: dict[str, list[float]] = {s: [] for s in SYSTEMS}
+            for scene in scenes:
+                row = {"scene": scene, "resolution": resolution}
+                for system in SYSTEMS:
+                    fps = reports[SimJob(system, scene, resolution, frames=num_frames)].fps
+                    row[system] = fps
+                    per_system[system].append(fps)
+                result.rows.append(row)
+            mean_row = {"scene": "MEAN", "resolution": resolution}
+            for system in SYSTEMS:
+                mean_row[system] = float(np.mean(per_system[system]))
+            result.rows.append(mean_row)
+        return result
+
+    return ExperimentPlan("fig15", DESCRIPTION, cells, aggregate)
+
 
 def run(scenes=TANKS_AND_TEMPLES, num_frames: int | None = None) -> ExperimentResult:
     """FPS for every (scene, resolution, system), plus MEAN rows."""
-    result = ExperimentResult(
-        name="fig15",
-        description="End-to-end throughput (FPS): Orin AGX vs GSCore vs Neo",
-    )
-    for resolution in RESOLUTIONS:
-        per_system: dict[str, list[float]] = {s: [] for s in SYSTEMS}
-        for scene in scenes:
-            row = {"scene": scene, "resolution": resolution}
-            for system in SYSTEMS:
-                fps = simulate_system(system, scene, resolution, num_frames=num_frames).fps
-                row[system] = fps
-                per_system[system].append(fps)
-            result.rows.append(row)
-        mean_row = {"scene": "MEAN", "resolution": resolution}
-        for system in SYSTEMS:
-            mean_row[system] = float(np.mean(per_system[system]))
-        result.rows.append(mean_row)
-    return result
+    return execute_plan(plan(scenes=scenes, num_frames=num_frames))
 
 
 def speedups(result: ExperimentResult) -> dict[str, dict[str, float]]:

@@ -9,13 +9,43 @@ from __future__ import annotations
 import numpy as np
 
 from ..scene.datasets import TANKS_AND_TEMPLES
-from .runner import (
-    PAPER_TRAFFIC_FRAMES,
-    ExperimentResult,
-    simulate_system,
-)
+from .engine import ExperimentPlan, SimJob, execute_plan
+from .runner import PAPER_TRAFFIC_FRAMES, ExperimentResult
 
 SYSTEMS = ("orin", "gscore", "neo")
+
+DESCRIPTION = "DRAM traffic (GB / 60 frames) at QHD: Orin vs GSCore vs Neo"
+
+
+def plan(
+    scenes=TANKS_AND_TEMPLES,
+    resolution: str = "qhd",
+    num_frames: int | None = None,
+) -> ExperimentPlan:
+    """Declare the (scene, system) grid for the traffic comparison."""
+    cells = tuple(
+        SimJob(system, scene, resolution, frames=num_frames)
+        for scene in scenes
+        for system in SYSTEMS
+    )
+
+    def aggregate(reports) -> ExperimentResult:
+        result = ExperimentResult(name="fig16", description=DESCRIPTION)
+        per_system: dict[str, list[float]] = {s: [] for s in SYSTEMS}
+        for scene in scenes:
+            row = {"scene": scene}
+            for system in SYSTEMS:
+                report = reports[SimJob(system, scene, resolution, frames=num_frames)]
+                gb = report.traffic_gb_for(PAPER_TRAFFIC_FRAMES)
+                row[system] = gb
+                per_system[system].append(gb)
+            result.rows.append(row)
+        result.rows.append(
+            {"scene": "MEAN", **{s: float(np.mean(v)) for s, v in per_system.items()}}
+        )
+        return result
+
+    return ExperimentPlan("fig16", DESCRIPTION, cells, aggregate)
 
 
 def run(
@@ -24,23 +54,7 @@ def run(
     num_frames: int | None = None,
 ) -> ExperimentResult:
     """GB of DRAM traffic per scene per system (60-frame totals)."""
-    result = ExperimentResult(
-        name="fig16",
-        description="DRAM traffic (GB / 60 frames) at QHD: Orin vs GSCore vs Neo",
-    )
-    per_system: dict[str, list[float]] = {s: [] for s in SYSTEMS}
-    for scene in scenes:
-        row = {"scene": scene}
-        for system in SYSTEMS:
-            report = simulate_system(system, scene, resolution, num_frames=num_frames)
-            gb = report.traffic_gb_for(PAPER_TRAFFIC_FRAMES)
-            row[system] = gb
-            per_system[system].append(gb)
-        result.rows.append(row)
-    result.rows.append(
-        {"scene": "MEAN", **{s: float(np.mean(v)) for s, v in per_system.items()}}
-    )
-    return result
+    return execute_plan(plan(scenes=scenes, resolution=resolution, num_frames=num_frames))
 
 
 def reductions(result: ExperimentResult) -> dict[str, float]:

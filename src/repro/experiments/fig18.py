@@ -13,9 +13,49 @@ from __future__ import annotations
 import numpy as np
 
 from ..scene.datasets import TANKS_AND_TEMPLES
-from .runner import ExperimentResult, simulate_system
+from .engine import ExperimentPlan, SimJob, execute_plan
+from .runner import ExperimentResult
 
 VARIANTS = ("gscore", "neo-s", "neo")
+
+DESCRIPTION = "Ablation: speedup and DRAM traffic normalized to GSCore"
+
+
+def plan(
+    scenes=TANKS_AND_TEMPLES,
+    resolution: str = "qhd",
+    num_frames: int | None = None,
+) -> ExperimentPlan:
+    """Declare the (variant, scene) ablation grid."""
+    cells = tuple(
+        SimJob(variant, scene, resolution, frames=num_frames)
+        for variant in VARIANTS
+        for scene in scenes
+    )
+
+    def aggregate(reports) -> ExperimentResult:
+        result = ExperimentResult(name="fig18", description=DESCRIPTION)
+        latency: dict[str, float] = {}
+        traffic: dict[str, float] = {}
+        for variant in VARIANTS:
+            lat, gb = [], []
+            for scene in scenes:
+                report = reports[SimJob(variant, scene, resolution, frames=num_frames)]
+                lat.append(report.mean_latency_s)
+                gb.append(report.total_traffic.total / report.num_frames)
+            latency[variant] = float(np.mean(lat))
+            traffic[variant] = float(np.mean(gb))
+        for variant in VARIANTS:
+            result.rows.append(
+                {
+                    "variant": variant,
+                    "speedup_vs_gscore": latency["gscore"] / latency[variant],
+                    "relative_traffic": traffic[variant] / traffic["gscore"],
+                }
+            )
+        return result
+
+    return ExperimentPlan("fig18", DESCRIPTION, cells, aggregate)
 
 
 def run(
@@ -24,26 +64,4 @@ def run(
     num_frames: int | None = None,
 ) -> ExperimentResult:
     """Speedup and relative traffic of each variant, normalized to GSCore."""
-    result = ExperimentResult(
-        name="fig18",
-        description="Ablation: speedup and DRAM traffic normalized to GSCore",
-    )
-    latency: dict[str, float] = {}
-    traffic: dict[str, float] = {}
-    for variant in VARIANTS:
-        lat, gb = [], []
-        for scene in scenes:
-            report = simulate_system(variant, scene, resolution, num_frames=num_frames)
-            lat.append(report.mean_latency_s)
-            gb.append(report.total_traffic.total / report.num_frames)
-        latency[variant] = float(np.mean(lat))
-        traffic[variant] = float(np.mean(gb))
-    for variant in VARIANTS:
-        result.rows.append(
-            {
-                "variant": variant,
-                "speedup_vs_gscore": latency["gscore"] / latency[variant],
-                "relative_traffic": traffic[variant] / traffic["gscore"],
-            }
-        )
-    return result
+    return execute_plan(plan(scenes=scenes, resolution=resolution, num_frames=num_frames))

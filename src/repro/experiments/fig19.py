@@ -33,10 +33,13 @@ from ..hw.workload import FrameWorkload, WorkloadModel
 from ..metrics.image import psnr
 from ..pipeline.renderer import Renderer
 from ..scene.datasets import default_trajectory, load_scene
+from .engine import ExperimentPlan, execute_plan
 from .runner import ExperimentResult
 
 #: 60 FPS service-level objective from the paper (ms).
 SLO_MS = 16.6
+
+DESCRIPTION = "Latency and PSNR per frame for four sorting-reuse methods"
 
 #: Edge memory system used for the latency conversion.
 _BANDWIDTH_GBPS = 51.2
@@ -82,6 +85,55 @@ def _strategies(period: int, lag: int) -> dict[str, object]:
     }
 
 
+def plan(
+    scene_name: str = "family",
+    num_frames: int = 24,
+    width: int = 256,
+    height: int = 144,
+    num_gaussians: int = 2500,
+    period: int = 8,
+    lag: int = 2,
+    resolution: str = "qhd",
+) -> ExperimentPlan:
+    """No simulation cells: the work is functional renders per strategy."""
+
+    def aggregate(_cells) -> ExperimentResult:
+        scene = load_scene(scene_name, num_gaussians=num_gaussians)
+        cameras = default_trajectory(
+            scene_name, num_frames=num_frames, width=width, height=height
+        )
+        reference = Renderer(scene).render_sequence(cameras)
+
+        # Paper-scale workloads for the latency conversion.
+        wm = WorkloadModel.from_scene(scene_name, num_frames=num_frames)
+        workloads = wm.sequence_workloads(resolution, 64)
+        bandwidth = _BANDWIDTH_GBPS * 1e9 * _EFFICIENCY
+
+        result = ExperimentResult(name="fig19", description=DESCRIPTION)
+        for method, strategy in _strategies(period, lag).items():
+            renderer = Renderer(scene, strategy=strategy)
+            records = renderer.render_sequence(cameras)
+            for i, record in enumerate(records):
+                w = workloads[i]
+                base_bytes = (
+                    w.visible * (FEATURE_3D_BYTES + 2 * FEATURE_2D_BYTES)
+                    + w.width * w.height * PIXEL_BYTES
+                )
+                sort_bytes = _sort_bytes(method, w, i, period)
+                latency_ms = ((base_bytes + sort_bytes) / bandwidth + _SERIAL_S) * 1e3
+                result.rows.append(
+                    {
+                        "method": method,
+                        "frame": i,
+                        "latency_ms": latency_ms,
+                        "psnr_vs_exact": psnr(reference[i].image, record.image),
+                    }
+                )
+        return result
+
+    return ExperimentPlan("fig19", DESCRIPTION, (), aggregate)
+
+
 def run(
     scene_name: str = "family",
     num_frames: int = 24,
@@ -93,41 +145,18 @@ def run(
     resolution: str = "qhd",
 ) -> ExperimentResult:
     """Per-frame latency (ms, Neo hardware) and PSNR-vs-exact per method."""
-    scene = load_scene(scene_name, num_gaussians=num_gaussians)
-    cameras = default_trajectory(
-        scene_name, num_frames=num_frames, width=width, height=height
+    return execute_plan(
+        plan(
+            scene_name=scene_name,
+            num_frames=num_frames,
+            width=width,
+            height=height,
+            num_gaussians=num_gaussians,
+            period=period,
+            lag=lag,
+            resolution=resolution,
+        )
     )
-    reference = Renderer(scene).render_sequence(cameras)
-
-    # Paper-scale workloads for the latency conversion.
-    wm = WorkloadModel.from_scene(scene_name, num_frames=num_frames)
-    workloads = wm.sequence_workloads(resolution, 64)
-    bandwidth = _BANDWIDTH_GBPS * 1e9 * _EFFICIENCY
-
-    result = ExperimentResult(
-        name="fig19",
-        description="Latency and PSNR per frame for four sorting-reuse methods",
-    )
-    for method, strategy in _strategies(period, lag).items():
-        renderer = Renderer(scene, strategy=strategy)
-        records = renderer.render_sequence(cameras)
-        for i, record in enumerate(records):
-            w = workloads[i]
-            base_bytes = (
-                w.visible * (FEATURE_3D_BYTES + 2 * FEATURE_2D_BYTES)
-                + w.width * w.height * PIXEL_BYTES
-            )
-            sort_bytes = _sort_bytes(method, w, i, period)
-            latency_ms = ((base_bytes + sort_bytes) / bandwidth + _SERIAL_S) * 1e3
-            result.rows.append(
-                {
-                    "method": method,
-                    "frame": i,
-                    "latency_ms": latency_ms,
-                    "psnr_vs_exact": psnr(reference[i].image, record.image),
-                }
-            )
-    return result
 
 
 def method_summary(result: ExperimentResult) -> dict[str, dict[str, float]]:

@@ -19,7 +19,10 @@ from ..pipeline.sorting import order_quality
 from ..scene.camera import Camera
 from ..scene.trajectory import TrajectoryConfig, orbit_trajectory
 from ..scene.datasets import load_scene, scene_spec
+from .engine import ExperimentPlan, execute_plan
 from .runner import ExperimentResult
+
+DESCRIPTION = "Accuracy restoration after an abrupt camera jump"
 
 
 def jump_trajectory(
@@ -65,6 +68,48 @@ def mean_order_quality(record) -> float:
     return float(np.mean(scores)) if scores else 1.0
 
 
+def plan(
+    scene_name: str = "family",
+    num_frames: int = 16,
+    jump_frame: int = 6,
+    jump_degrees: float = 10.0,
+    width: int = 224,
+    height: int = 126,
+    num_gaussians: int = 2000,
+) -> ExperimentPlan:
+    """No simulation cells: the work is a pair of functional renders."""
+    if not 0 < jump_frame < num_frames - 3:
+        raise ValueError("jump_frame must leave room to observe recovery")
+
+    def aggregate(_cells) -> ExperimentResult:
+        scene = load_scene(scene_name, num_gaussians=num_gaussians)
+        cameras = jump_trajectory(
+            scene_name, num_frames, jump_frame, jump_degrees, width, height
+        )
+
+        reference = Renderer(scene).render_sequence(cameras)
+        neo = NeoSortStrategy()
+        records = Renderer(scene, strategy=neo).render_sequence(cameras)
+
+        result = ExperimentResult(
+            name="recovery",
+            description=f"Accuracy restoration after a {jump_degrees:g} deg camera jump",
+        )
+        for i, (ref, rec) in enumerate(zip(reference, records)):
+            result.rows.append(
+                {
+                    "frame": i,
+                    "is_jump": i == jump_frame,
+                    "psnr_vs_exact": psnr(ref.image, rec.image),
+                    "order_quality": mean_order_quality(rec),
+                    "incoming": neo.frame_stats[i].incoming_entries,
+                }
+            )
+        return result
+
+    return ExperimentPlan("recovery", DESCRIPTION, (), aggregate)
+
+
 def run(
     scene_name: str = "family",
     num_frames: int = 16,
@@ -75,32 +120,17 @@ def run(
     num_gaussians: int = 2000,
 ) -> ExperimentResult:
     """Per-frame PSNR-vs-exact and ordering quality around a camera jump."""
-    if not 0 < jump_frame < num_frames - 3:
-        raise ValueError("jump_frame must leave room to observe recovery")
-    scene = load_scene(scene_name, num_gaussians=num_gaussians)
-    cameras = jump_trajectory(
-        scene_name, num_frames, jump_frame, jump_degrees, width, height
-    )
-
-    reference = Renderer(scene).render_sequence(cameras)
-    neo = NeoSortStrategy()
-    records = Renderer(scene, strategy=neo).render_sequence(cameras)
-
-    result = ExperimentResult(
-        name="recovery",
-        description=f"Accuracy restoration after a {jump_degrees:g} deg camera jump",
-    )
-    for i, (ref, rec) in enumerate(zip(reference, records)):
-        result.rows.append(
-            {
-                "frame": i,
-                "is_jump": i == jump_frame,
-                "psnr_vs_exact": psnr(ref.image, rec.image),
-                "order_quality": mean_order_quality(rec),
-                "incoming": neo.frame_stats[i].incoming_entries,
-            }
+    return execute_plan(
+        plan(
+            scene_name=scene_name,
+            num_frames=num_frames,
+            jump_frame=jump_frame,
+            jump_degrees=jump_degrees,
+            width=width,
+            height=height,
+            num_gaussians=num_gaussians,
         )
-    return result
+    )
 
 
 def recovery_frames(result: ExperimentResult, threshold_db: float = 45.0) -> int:

@@ -1,4 +1,12 @@
-"""Registry mapping paper figure/table IDs to their experiment drivers."""
+"""Registry mapping paper figure/table IDs to their experiment drivers.
+
+Each driver module exposes three things the registry surfaces:
+
+* ``run(**params) -> ExperimentResult`` — the serial entry point;
+* ``plan(**params) -> ExperimentPlan`` — the declarative form the
+  :class:`~repro.experiments.engine.ExperimentEngine` collects cells from;
+* ``DESCRIPTION`` — a one-line summary shown by ``repro experiments --list``.
+"""
 
 from __future__ import annotations
 
@@ -23,27 +31,38 @@ from . import (
     table3,
     table4,
 )
+from .engine import ExperimentPlan
 from .runner import ExperimentResult, RunnerConfig, runner_config
+
+#: Experiment ID -> driver module.
+_MODULES = {
+    "bandwidth_sweep": bandwidth_sweep,
+    "fig03": fig03,
+    "fig04": fig04,
+    "fig05": fig05,
+    "fig06": fig06,
+    "fig07": fig07,
+    "fig09": fig09,
+    "fig10": fig10,
+    "fig15": fig15,
+    "fig16": fig16,
+    "fig17": fig17,
+    "fig18": fig18,
+    "fig19": fig19,
+    "recovery": recovery,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+}
 
 #: Experiment ID -> zero-argument driver producing an ExperimentResult.
 EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
-    "bandwidth_sweep": bandwidth_sweep.run,
-    "fig03": fig03.run,
-    "fig04": fig04.run,
-    "fig05": fig05.run,
-    "fig06": fig06.run,
-    "fig07": fig07.run,
-    "fig09": fig09.run,
-    "fig10": fig10.run,
-    "fig15": fig15.run,
-    "fig16": fig16.run,
-    "fig17": fig17.run,
-    "fig18": fig18.run,
-    "fig19": fig19.run,
-    "recovery": recovery.run,
-    "table2": table2.run,
-    "table3": table3.run,
-    "table4": table4.run,
+    name: module.run for name, module in _MODULES.items()
+}
+
+#: Experiment ID -> zero-argument factory producing the default ExperimentPlan.
+PLANS: dict[str, Callable[[], ExperimentPlan]] = {
+    name: module.plan for name, module in _MODULES.items()
 }
 
 
@@ -66,3 +85,8 @@ def run_experiment(name: str, config: RunnerConfig | None = None) -> ExperimentR
 def list_experiments() -> list[str]:
     """All registered experiment IDs, sorted."""
     return sorted(EXPERIMENTS)
+
+
+def experiment_descriptions() -> dict[str, str]:
+    """Experiment ID -> one-line summary, sorted by ID."""
+    return {name: _MODULES[name].DESCRIPTION for name in sorted(_MODULES)}

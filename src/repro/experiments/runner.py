@@ -15,6 +15,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from functools import lru_cache
+from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
 from ..hw.accelerator import NeoModel
@@ -108,19 +109,73 @@ class ExperimentResult:
     description: str
     rows: list[dict] = field(default_factory=list)
 
+    def columns(self) -> list[str]:
+        """Union of row keys in first-seen order (stable across runs)."""
+        seen: dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                seen.setdefault(key, None)
+        return list(seen)
+
     def to_text(self) -> str:
-        """Render the rows as an aligned text table."""
+        """Render the rows as an aligned text table.
+
+        Columns are the union of keys across *all* rows (headers used to come
+        from ``rows[0]``, silently dropping columns that first appear in a
+        later row); cells a row doesn't carry render as ``-``.
+        """
         if not self.rows:
             return f"{self.name}: (no rows)"
-        keys = list(self.rows[0].keys())
+        keys = self.columns()
         widths = {
-            k: max(len(k), *(len(_fmt(r.get(k))) for r in self.rows)) for k in keys
+            k: max(len(k), *(len(_cell(r, k)) for r in self.rows)) for k in keys
         }
         header = "  ".join(k.ljust(widths[k]) for k in keys)
         lines = [f"== {self.name}: {self.description} ==", header]
         for row in self.rows:
-            lines.append("  ".join(_fmt(row.get(k)).ljust(widths[k]) for k in keys))
+            lines.append("  ".join(_cell(row, k).ljust(widths[k]) for k in keys))
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Plain-dict artifact form: a pure function of (result, code version)."""
+        from ..runtime.cache import code_version
+
+        return {
+            "name": self.name,
+            "description": self.description,
+            "code_version": code_version(),
+            "rows": self.rows,
+        }
+
+    def write_json(self, path) -> "Path":
+        """Write a deterministic JSON artifact (sorted keys, trailing newline).
+
+        Serial, parallel, cold, and warm executions of the same experiment at
+        the same code version produce byte-identical files.
+        """
+        import json
+
+        from ..runtime.cache import _json_default
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True, default=_json_default)
+            handle.write("\n")
+        return path
+
+    def write_csv(self, path) -> "Path":
+        """Write the rows as CSV over the union of columns (missing -> empty)."""
+        import csv
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=self.columns(), restval="")
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow({k: ("" if v is None else v) for k, v in row.items()})
+        return path
 
     def column(self, key: str) -> list:
         """Extract one column across all rows."""
@@ -139,6 +194,11 @@ def _fmt(value) -> str:
     if isinstance(value, float):
         return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
     return str(value)
+
+
+def _cell(row: dict, key: str) -> str:
+    """One table cell: ``-`` when the row doesn't carry the column at all."""
+    return _fmt(row[key]) if key in row else "-"
 
 
 def get_workload_model(

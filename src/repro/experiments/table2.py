@@ -18,7 +18,10 @@ from ..core.strategies import NeoSortStrategy
 from ..metrics.image import lpips_proxy, psnr
 from ..pipeline.renderer import ExactSortStrategy, Renderer
 from ..scene.datasets import TANKS_AND_TEMPLES, default_trajectory, load_scene
+from .engine import ExperimentPlan, execute_plan
 from .runner import ExperimentResult
+
+DESCRIPTION = "Quality: original 3DGS vs Neo (PSNR dB / LPIPS proxy)"
 
 
 def _golden_frames(scene, cameras) -> list[np.ndarray]:
@@ -36,6 +39,21 @@ def _golden_frames(scene, cameras) -> list[np.ndarray]:
     return golden
 
 
+def plan(
+    scenes=TANKS_AND_TEMPLES,
+    num_frames: int = 5,
+    width: int = 224,
+    height: int = 126,
+    num_gaussians: int = 2500,
+) -> ExperimentPlan:
+    """No simulation cells: the work is golden / exact / Neo renders."""
+
+    def aggregate(_cells) -> ExperimentResult:
+        return _measure(scenes, num_frames, width, height, num_gaussians)
+
+    return ExperimentPlan("table2", DESCRIPTION, (), aggregate)
+
+
 def run(
     scenes=TANKS_AND_TEMPLES,
     num_frames: int = 5,
@@ -44,10 +62,19 @@ def run(
     num_gaussians: int = 2500,
 ) -> ExperimentResult:
     """Per-scene PSNR/LPIPS of exact sorting and Neo against a golden render."""
-    result = ExperimentResult(
-        name="table2",
-        description="Quality: original 3DGS vs Neo (PSNR dB / LPIPS proxy)",
+    return execute_plan(
+        plan(
+            scenes=scenes,
+            num_frames=num_frames,
+            width=width,
+            height=height,
+            num_gaussians=num_gaussians,
+        )
     )
+
+
+def _measure(scenes, num_frames, width, height, num_gaussians) -> ExperimentResult:
+    result = ExperimentResult(name="table2", description=DESCRIPTION)
     for scene_name in scenes:
         scene = load_scene(scene_name, num_gaussians=num_gaussians)
         cameras = default_trajectory(

@@ -7,32 +7,41 @@ the ITUs) costs only ~9 % of total area and power.
 from __future__ import annotations
 
 from ..hw.area_power import engine_summaries, neo_breakdown, neo_summary
+from .engine import ExperimentPlan, execute_plan
 from .runner import ExperimentResult
+
+DESCRIPTION = "Neo component-level area (mm^2) / power (mW) breakdown"
+
+
+def plan() -> ExperimentPlan:
+    """No simulation cells: a pure analytic table."""
+
+    def aggregate(_cells) -> ExperimentResult:
+        result = ExperimentResult(name="table4", description=DESCRIPTION)
+        for entry in neo_breakdown():
+            result.rows.append(
+                {"component": entry.name, "area_mm2": entry.area_mm2, "power_mw": entry.power_mw}
+            )
+        for entry in engine_summaries():
+            result.rows.append(
+                {
+                    "component": f"[{entry.name}]",
+                    "area_mm2": entry.area_mm2,
+                    "power_mw": entry.power_mw,
+                }
+            )
+        total = neo_summary()
+        result.rows.append(
+            {"component": "Total", "area_mm2": total.area_mm2, "power_mw": total.power_mw}
+        )
+        return result
+
+    return ExperimentPlan("table4", DESCRIPTION, (), aggregate)
 
 
 def run() -> ExperimentResult:
     """Component rows plus engine roll-ups and the total."""
-    result = ExperimentResult(
-        name="table4",
-        description="Neo component-level area (mm^2) / power (mW) breakdown",
-    )
-    for entry in neo_breakdown():
-        result.rows.append(
-            {"component": entry.name, "area_mm2": entry.area_mm2, "power_mw": entry.power_mw}
-        )
-    for entry in engine_summaries():
-        result.rows.append(
-            {
-                "component": f"[{entry.name}]",
-                "area_mm2": entry.area_mm2,
-                "power_mw": entry.power_mw,
-            }
-        )
-    total = neo_summary()
-    result.rows.append(
-        {"component": "Total", "area_mm2": total.area_mm2, "power_mw": total.power_mw}
-    )
-    return result
+    return execute_plan(plan())
 
 
 def added_hardware_share() -> dict[str, float]:

@@ -2,11 +2,14 @@
 
 Two fan-out axes, both with deterministic merges:
 
-* **Experiment-level** — :class:`ParallelRunner` runs registered experiment
-  drivers across a :mod:`multiprocessing` pool, consulting the
+* **Experiment-level** — :class:`ParallelRunner` routes registered
+  experiments through the shared
+  :class:`~repro.experiments.engine.ExperimentEngine`, which dedupes
+  identical simulation cells across experiments, consults the
   :class:`~repro.runtime.cache.ResultCache` before dispatch so warm entries
-  never reach a worker.  Results come back in the caller's requested order
-  regardless of completion order.
+  never reach a worker, and fans cache-miss cells out cell-granularly.
+  Results come back in the caller's requested order regardless of
+  completion order.
 * **Frame-level** — :func:`parallel_render_sequence` shards a camera
   trajectory into contiguous frame ranges and renders each shard in its own
   worker.  Frames rendered by a stateless sorting strategy are independent,
@@ -22,7 +25,6 @@ the registry), so everything crossing the process boundary is picklable.
 from __future__ import annotations
 
 import multiprocessing
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -70,25 +72,17 @@ class RunOutcome:
     from_cache: bool
 
 
-def _run_experiment_by_name(name: str, frames: int | None, cache_root: str | None):
-    """Worker body: run one registered driver under the given config."""
-    from ..experiments import registry
-    from ..experiments.runner import RunnerConfig, runner_config
-
-    cache = ResultCache(cache_root) if cache_root is not None else None
-    start = time.perf_counter()
-    with runner_config(RunnerConfig(frames=frames, cache=cache)):
-        result = registry.EXPERIMENTS[name]()
-    return name, result.name, result.description, result.rows, time.perf_counter() - start
-
-
-def _experiment_worker(task: tuple[str, int | None, str | None]):
-    return _run_experiment_by_name(*task)
-
-
 @dataclass
 class ParallelRunner:
-    """Runs experiment drivers across processes with disk-backed caching.
+    """Runs experiment drivers with disk-backed caching and parallel fan-out.
+
+    Since the plan/execute refactor this is a thin client of the
+    :class:`~repro.experiments.engine.ExperimentEngine`: experiments declare
+    their simulation cells, the engine dedupes identical cells *across*
+    experiments and fans the misses out cell-granularly, and drivers whose
+    work is not cell-shaped run whole in a worker.  Kept for API continuity
+    (``benchmarks/ci_smoke.py`` and external callers); new code should use
+    the engine directly.
 
     Parameters
     ----------
@@ -106,55 +100,15 @@ class ParallelRunner:
     frames: int | None = None
     cache: ResultCache | None = field(default_factory=ResultCache)
 
-    def _cache_payload(self, name: str) -> dict[str, Any]:
-        from ..experiments.runner import DEFAULT_FRAMES
-
-        return {
-            "kind": "experiment",
-            "name": name,
-            "frames": DEFAULT_FRAMES if self.frames is None else self.frames,
-        }
-
     def run(self, names: list[str]) -> list[RunOutcome]:
         """Execute experiments by registry name; output order matches input."""
-        from ..experiments import registry
-        from ..experiments.runner import ExperimentResult
+        from ..experiments.engine import ExperimentEngine
 
-        unknown = [n for n in names if n.lower() not in registry.EXPERIMENTS]
-        if unknown:
-            raise KeyError(
-                f"unknown experiments {unknown}; options: {sorted(registry.EXPERIMENTS)}"
-            )
-        names = [n.lower() for n in names]
-
-        outcomes: dict[str, RunOutcome] = {}
-        misses: list[str] = []
-        for name in names:
-            cached = self.cache.get("experiments", self._cache_payload(name)) if self.cache else None
-            if cached is not None:
-                result = ExperimentResult(
-                    name=cached["name"],
-                    description=cached["description"],
-                    rows=cached["rows"],
-                )
-                outcomes[name] = RunOutcome(name, result, elapsed_s=0.0, from_cache=True)
-            else:
-                misses.append(name)
-
-        cache_root = str(self.cache.root) if self.cache else None
-        tasks = [(name, self.frames, cache_root) for name in misses]
-        raw = parallel_map(_experiment_worker, tasks, self.jobs)
-
-        for name, result_name, description, rows, elapsed in raw:
-            result = ExperimentResult(name=result_name, description=description, rows=rows)
-            outcomes[name] = RunOutcome(name, result, elapsed_s=elapsed, from_cache=False)
-            if self.cache:
-                self.cache.put(
-                    "experiments",
-                    self._cache_payload(name),
-                    {"name": result.name, "description": description, "rows": rows},
-                )
-        return [outcomes[name] for name in names]
+        engine = ExperimentEngine(jobs=self.jobs, frames=self.frames, cache=self.cache)
+        return [
+            RunOutcome(o.name, o.result, o.elapsed_s, o.from_cache)
+            for o in engine.run(names).outcomes
+        ]
 
 
 # ----------------------------------------------------------------------

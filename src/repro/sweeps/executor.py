@@ -14,16 +14,18 @@ row:
 Point evaluation is a pure function of the point's parameters, so rows are
 cached in the ``sweeps`` namespace of the
 :class:`~repro.runtime.cache.ResultCache` and the executor only dispatches
-cache misses — through :func:`repro.runtime.parallel.parallel_map`, with a
-deterministic grid-order merge.  Heavyweight intermediates (scenes, workload
-captures, reference renders) are additionally memoized per process, so
-points that share a (scene, trajectory) pair don't repeat the geometry work
-within a run.
+cache misses.  Execution goes through the same core as the figure drivers —
+:func:`repro.experiments.engine.execute_cells` — which dedupes identical
+points, probes the cache, fans misses out through
+:func:`repro.runtime.parallel.parallel_map`, and merges in deterministic
+grid order.  Heavyweight intermediates (scenes, workload captures,
+reference renders) are additionally memoized per process, so points that
+share a (scene, trajectory) pair don't repeat the geometry work within a
+run.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Any
@@ -31,13 +33,13 @@ from typing import Any
 import numpy as np
 
 from ..core.strategies import make_strategy
+from ..experiments.engine import execute_cells
 from ..experiments.runner import build_system_model
 from ..hw.config import DramConfig
 from ..hw.workload import WorkloadModel
 from ..metrics.image import psnr, ssim
 from ..pipeline.renderer import Renderer
 from ..runtime.cache import ResultCache, code_version
-from ..runtime.parallel import parallel_map
 from ..scene.datasets import archetype_trajectory, load_scene, scene_spec
 from .report import SweepReport
 from .spec import SweepPoint, SweepSpec
@@ -195,7 +197,12 @@ class SweepOutcome:
 
 @dataclass
 class SweepRunner:
-    """Executes sweep specs: cache lookup, parallel fan-out, ordered merge.
+    """Executes sweep specs as a thin client of the shared execution core.
+
+    :func:`~repro.experiments.engine.execute_cells` does the heavy lifting —
+    dedup of identical points, cache probe, parallel fan-out of the misses,
+    deterministic grid-order merge — exactly as it does for the figure
+    drivers' simulation cells.
 
     Parameters
     ----------
@@ -211,34 +218,19 @@ class SweepRunner:
 
     def run(self, spec: SweepSpec) -> SweepOutcome:
         """Execute every grid point and aggregate rows in grid order."""
-        start = time.perf_counter()
         points = spec.points()
-        rows: dict[int, dict[str, Any]] = {}
-        misses: list[SweepPoint] = []
-        for point in points:
-            cached = (
-                self.cache.get("sweeps", point.cache_payload()) if self.cache else None
-            )
-            if cached is not None:
-                rows[point.index] = cached
-            else:
-                misses.append(point)
-
-        for point, row in zip(misses, parallel_map(evaluate_point, misses, self.jobs)):
-            rows[point.index] = row
-            if self.cache:
-                self.cache.put("sweeps", point.cache_payload(), row)
+        batch = execute_cells(points, evaluate_point, jobs=self.jobs, cache=self.cache)
 
         report = SweepReport(
             name=spec.name,
             description=spec.description,
             spec=spec.to_dict(),
             code_version=code_version(),
-            rows=[rows[point.index] for point in points],
+            rows=list(batch.values),
         )
         return SweepOutcome(
             report=report,
-            hits=len(points) - len(misses),
-            misses=len(misses),
-            elapsed_s=time.perf_counter() - start,
+            hits=batch.hits,
+            misses=batch.computed,
+            elapsed_s=batch.elapsed_s,
         )

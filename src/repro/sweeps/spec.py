@@ -147,6 +147,11 @@ class SweepPoint:
             "measure_quality": self.measure_quality,
         }
 
+    def cache_spec(self) -> tuple[str, dict[str, Any]]:
+        """(namespace, payload) for the shared execution core
+        (:func:`repro.experiments.engine.execute_cells`)."""
+        return "sweeps", self.cache_payload()
+
 
 def _as_tuple(value: Any) -> tuple:
     if isinstance(value, (list, tuple)):
