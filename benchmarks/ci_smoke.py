@@ -78,6 +78,29 @@ def render_smoke(jobs: int, num_frames: int = 8) -> dict:
     }
 
 
+def vectorized_smoke(num_frames: int = 200, floor: float | None = None) -> dict:
+    """Vectorized sequence core vs the per-frame scalar loop, per system.
+
+    Reuses the micro-bench in ``benchmarks/test_vectorized_core.py`` on its
+    synthetic long trajectory: every base system must produce bit-identical
+    reports and clear the bench's speedup floor (the equations vectorize
+    ~20x; end-to-end the shared report-construction cost caps the visible
+    win).
+    """
+    from test_vectorized_core import SPEEDUP_FLOOR, SYSTEMS, measure
+
+    if floor is None:
+        floor = SPEEDUP_FLOOR
+    per_system = [measure(system, num_frames) for system in SYSTEMS]
+    return {
+        "frames": num_frames,
+        "floor": floor,
+        "systems": per_system,
+        "identical": all(s["identical"] for s in per_system),
+        "above_floor": all(s["speedup"] > floor for s in per_system),
+    }
+
+
 def cached_smoke(experiments: list[str], frames: int, cache_dir: str) -> dict:
     """Run the same drivers through the disk cache and report hit counts.
 
@@ -105,12 +128,15 @@ def run_smoke(experiments: list[str], jobs: int, frames: int, cache_dir: str | N
         "cpu_count": os.cpu_count(),
         "experiment_level": experiment_smoke(experiments, jobs, frames),
         "frame_level": render_smoke(jobs),
+        "vectorized_core": vectorized_smoke(),
     }
     if cache_dir:
         summary["cached_level"] = cached_smoke(experiments, frames, cache_dir)
     summary["ok"] = (
         summary["experiment_level"]["rows_identical"]
         and summary["frame_level"]["frames_identical"]
+        and summary["vectorized_core"]["identical"]
+        and summary["vectorized_core"]["above_floor"]
     )
     return summary
 
@@ -137,7 +163,11 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(summary, handle, indent=2)
     print(json.dumps(summary, indent=2))
     if not summary["ok"]:
-        print("FAIL: parallel output differs from serial output", file=sys.stderr)
+        print(
+            "FAIL: parallel output differs from serial output, or the "
+            "vectorized core diverged from / fell behind the per-frame loop",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

@@ -1,0 +1,132 @@
+"""Bench: vectorized sequence core vs the historical per-frame loop.
+
+The :class:`~repro.hw.system.SystemModel` refactor replaced each model's
+per-frame Python loop with one NumPy evaluation over the frame axis.  This
+bench builds a long (200-frame) synthetic trajectory — no scene capture, so
+it isolates the simulation core — times both paths for every base system,
+and asserts (a) bit-identical reports and (b) a wall-clock speedup floor.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import build_system_model
+from repro.hw import reference
+from repro.hw.workload import FrameWorkload
+
+# Wall-clock assertions don't belong in the fast CI leg; like the other
+# timing-sensitive benches here, run only in the full (slow) suite.
+pytestmark = pytest.mark.slow
+
+#: Long-trajectory length; roughly 3x the paper's 60-frame sequences.
+NUM_FRAMES = 200
+
+#: Wall-clock floor asserted for simulate() vs the per-frame loop.  The
+#: measured advantage is ~1.7-2.3x (report-object construction is common to
+#: both paths; the equations themselves vectorize ~20x); 1.3x keeps CI
+#: noise-proof.
+SPEEDUP_FLOOR = 1.3
+
+SYSTEMS = ("orin", "gscore", "neo")
+
+
+def synthetic_workloads(num_frames: int = NUM_FRAMES, tile: int = 16) -> list[FrameWorkload]:
+    """A deterministic paper-scale trajectory, synthesized analytically.
+
+    Counts drift sinusoidally around Mill-19-like magnitudes so frame 0's
+    cold start, churn terms, and early-termination clamping all exercise.
+    """
+    rng = np.random.default_rng(20260730)
+    width, height = 2560, 1440
+    num_tiles = (width // tile) * (height // tile)
+    workloads = []
+    for i in range(num_frames):
+        pairs = 3.0e6 * (1.0 + 0.2 * np.sin(i / 9.0)) + float(rng.integers(0, 10_000))
+        incoming = 0.0 if i == 0 else pairs * (0.05 + 0.02 * np.cos(i / 5.0))
+        nonempty = int(num_tiles * 0.9)
+        workloads.append(
+            FrameWorkload(
+                frame_index=i,
+                width=width,
+                height=height,
+                tile_size=tile,
+                num_gaussians=2.0e6,
+                visible=1.1e6 * (1.0 + 0.1 * np.sin(i / 7.0)),
+                pairs=pairs,
+                incoming_pairs=incoming,
+                outgoing_pairs=incoming,
+                nonempty_tiles=nonempty,
+                num_tiles=num_tiles,
+                mean_occupancy=pairs / nonempty,
+                chunks=float(int(pairs) // 256),
+                mean_radius_px=24.0,
+            )
+        )
+    return workloads
+
+
+def _best_of(fn, repeats: int = 3) -> tuple[float, object]:
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def measure(system: str, num_frames: int = NUM_FRAMES) -> dict:
+    """Time the vectorized core vs the scalar per-frame loop for one system."""
+    model, tile = build_system_model(system)
+    workloads = synthetic_workloads(num_frames, tile)
+    scalar_s, scalar_report = _best_of(lambda: reference.scalar_simulate(model, workloads))
+    vector_s, vector_report = _best_of(lambda: model.simulate(workloads))
+    identical = all(
+        g.traffic.feature_extraction == w.traffic.feature_extraction
+        and g.traffic.sorting == w.traffic.sorting
+        and g.traffic.rasterization == w.traffic.rasterization
+        and g.memory_time_s == w.memory_time_s
+        and g.compute_time_s == w.compute_time_s
+        for g, w in zip(vector_report.frames, scalar_report.frames)
+    )
+    return {
+        "system": system,
+        "frames": num_frames,
+        "per_frame_loop_ms": scalar_s * 1e3,
+        "vectorized_ms": vector_s * 1e3,
+        "speedup": scalar_s / vector_s if vector_s else float("inf"),
+        "identical": identical,
+    }
+
+
+def test_vectorized_core_speedup_and_identity():
+    for system in SYSTEMS:
+        stats = measure(system)
+        print(
+            f"\n{system:>8}: per-frame {stats['per_frame_loop_ms']:7.2f} ms, "
+            f"vectorized {stats['vectorized_ms']:7.2f} ms "
+            f"({stats['speedup']:.1f}x over {stats['frames']} frames)"
+        )
+        assert stats["identical"], f"{system}: vectorized core diverged from scalar loop"
+        assert stats["speedup"] > SPEEDUP_FLOOR, (
+            f"{system}: vectorized core only {stats['speedup']:.2f}x over the "
+            f"per-frame loop (floor {SPEEDUP_FLOOR}x)"
+        )
+
+
+def test_variant_overlays_match_reference_on_long_trajectory():
+    # Variants flip equation branches (cold start, random-access pass,
+    # bitmap traffic); pin them on the long trajectory too.
+    for system in ("neo-s", "neo-eager-depth", "orin-neo-sw", "gscore-32c", "neo-lite"):
+        model, tile = build_system_model(system)
+        workloads = synthetic_workloads(32, tile)
+        got = model.simulate(workloads)
+        want = reference.scalar_simulate(model, workloads)
+        for g, w in zip(got.frames, want.frames):
+            assert g.traffic.sorting == w.traffic.sorting
+            assert g.memory_time_s == w.memory_time_s
+            assert g.compute_time_s == w.compute_time_s

@@ -10,15 +10,10 @@ Run:
 
 from __future__ import annotations
 
-from repro.hw import (
-    DramConfig,
-    GSCoreModel,
-    NeoModel,
-    OrinGpuModel,
-    WorkloadModel,
-)
+from repro.hw import DramConfig, WorkloadModel, get_system
 
 SCENES = ("family", "lighthouse", "train")
+SYSTEMS = ("orin", "gscore", "neo")
 RESOLUTIONS = ("hd", "fhd", "qhd")
 SLO_FPS = 60.0
 
@@ -29,14 +24,13 @@ def main() -> None:
 
     print(f"\n{'resolution':>10} {'system':>10} {'fps':>7} {'GB/60f':>8} {'60FPS?':>7}")
     for resolution in RESOLUTIONS:
-        for label, build in (
-            ("orin", lambda: (OrinGpuModel(), 16)),
-            ("gscore", lambda: (GSCoreModel(dram=DramConfig()), 16)),
-            ("neo", lambda: (NeoModel(dram=DramConfig()), 64)),
-        ):
+        for label in SYSTEMS:
             fps_sum = gb_sum = 0.0
             for name, wm in models.items():
-                model, tile = build()
+                # The registry knows each backend's builder and tile size, so
+                # adding a system here is just another name in SYSTEMS.
+                model = get_system(label).build(dram=DramConfig())
+                tile = model.tile_size
                 report = model.simulate(wm.sequence_workloads(resolution, tile), scene=name)
                 fps_sum += report.fps
                 gb_sum += report.traffic_gb_for(60)

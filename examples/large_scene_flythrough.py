@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import NeoSortStrategy
-from repro.hw import GSCoreModel, NeoModel, OrinGpuModel, WorkloadModel
+from repro.hw import WorkloadModel, get_system
 from repro.metrics import sequence_similarity
 from repro.pipeline import Renderer
 from repro.scene import default_trajectory, load_scene
@@ -40,13 +40,12 @@ def main() -> None:
 
     print("\nPaper-scale projection (QHD, 51.2 GB/s edge memory):")
     wm = WorkloadModel.from_scene(scene_name, num_frames=10)
-    w_neo = wm.sequence_workloads("qhd", 64)
-    w_16 = wm.sequence_workloads("qhd", 16)
-    for label, report in (
-        ("orin", OrinGpuModel().simulate(w_16, scene=scene_name)),
-        ("gscore", GSCoreModel().simulate(w_16, scene=scene_name)),
-        ("neo", NeoModel().simulate(w_neo, scene=scene_name)),
-    ):
+    for label in ("orin", "gscore", "neo"):
+        # Registry-built backends bring their own tile size (64 px for Neo,
+        # 16 px for the GPU and GSCore).
+        model = get_system(label).build()
+        workloads = wm.sequence_workloads("qhd", model.tile_size)
+        report = model.simulate(workloads, scene=scene_name)
         print(
             f"  {label:>7}: {report.fps:6.1f} FPS, "
             f"{report.traffic_gb_for(60):6.1f} GB / 60 frames"

@@ -15,6 +15,8 @@ Usage::
     repro cache clear                     # drop every cached artifact
     repro render family out.ppm           # render one frame to a PPM
     repro simulate neo family qhd         # one system/scene/resolution
+    repro systems list                    # registered hardware backends
+    repro systems show neo-s              # one backend's knobs and overlays
 """
 
 from __future__ import annotations
@@ -28,11 +30,54 @@ import numpy as np
 
 def _cmd_list(_args) -> int:
     from .experiments import list_experiments
+    from .hw.system import registered_systems
     from .scene.datasets import SCENE_SPECS
 
     print("experiments:", ", ".join(list_experiments()))
     print("scenes:     ", ", ".join(sorted(SCENE_SPECS)))
-    print("systems:    ", "orin, orin-neo-sw, gscore, neo, neo-s")
+    print("systems:    ", ", ".join(registered_systems()))
+    return 0
+
+
+def _cmd_systems(args) -> int:
+    from .hw.system import get_system, iter_systems
+
+    if args.systems_command == "list":
+        specs = list(iter_systems())
+        if args.ids:
+            for spec in specs:
+                print(spec.name)
+            return 0
+        width = max(len(spec.name) for spec in specs)
+        for spec in specs:
+            origin = f"= {spec.base} + overlay" if spec.base else spec.model_cls.__name__
+            print(
+                f"{spec.name:{width}s}  {origin:24s} "
+                f"[{spec.dram_policy}]  {spec.description}"
+            )
+        return 0
+
+    # show
+    try:
+        spec = get_system(args.name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(f"system:      {spec.name}")
+    print(f"description: {spec.description}")
+    print(f"model:       {spec.model_cls.__name__}")
+    print(f"dram policy: {spec.dram_policy} "
+          f"({'honors --bandwidth' if spec.dram_policy == 'edge' else 'fixed native memory system'})")
+    if spec.base:
+        print(f"base:        {spec.base}")
+        overlay = ", ".join(f"{k}={v!r}" for k, v in spec.overrides)
+        print(f"overlay:     {overlay}")
+    print("model kwargs:")
+    for name, default in spec.model_fields().items():
+        print(f"  {name:22s} default {default}")
+    print(f"config fields ({spec.config_cls.__name__}):")
+    for name, default in spec.config_fields().items():
+        print(f"  {name:22s} default {default}")
     return 0
 
 
@@ -402,12 +447,29 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("full", "periodic", "background", "hierarchical", "neo"),
     )
 
+    from .hw.system import registered_systems
+
     sim_p = sub.add_parser("simulate", help="simulate one system on one workload")
-    sim_p.add_argument("system", choices=("orin", "orin-neo-sw", "gscore", "neo", "neo-s"))
+    sim_p.add_argument("system", choices=registered_systems())
     sim_p.add_argument("scene")
     sim_p.add_argument("resolution", choices=("hd", "fhd", "qhd", "uhd"))
     sim_p.add_argument("--frames", type=int, default=12)
     sim_p.add_argument("--bandwidth", type=float, default=51.2, help="DRAM GB/s")
+
+    systems_p = sub.add_parser(
+        "systems", help="inspect the pluggable hardware-backend registry"
+    )
+    systems_sub = systems_p.add_subparsers(dest="systems_command", required=True)
+    systems_list = systems_sub.add_parser(
+        "list", help="registered systems: id, origin, DRAM policy, description"
+    )
+    systems_list.add_argument(
+        "--ids", action="store_true", help="print bare system ids only (script-friendly)"
+    )
+    systems_show = systems_sub.add_parser(
+        "show", help="one system's metadata, accepted kwargs, and config fields"
+    )
+    systems_show.add_argument("name", help="registered system id (see `repro systems list`)")
     return parser
 
 
@@ -422,6 +484,7 @@ def main(argv: list[str] | None = None) -> int:
         "cache": _cmd_cache,
         "render": _cmd_render,
         "simulate": _cmd_simulate,
+        "systems": _cmd_systems,
     }
     return handlers[args.command](args)
 

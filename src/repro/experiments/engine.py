@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable, Iterator, Mapping
 
+from ..hw.system import get_system
 from ..runtime.cache import ResultCache, stable_key
 from ..runtime.parallel import parallel_map
 from .runner import (
@@ -73,6 +74,9 @@ class SimJob:
     model_kwargs: tuple[tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
+        # Fail at declaration time, not deep inside a worker: every cell
+        # must name a registered system (same error the runner would raise).
+        get_system(self.system)
         # Normalize numeric spellings (4 vs 4.0) so equal cells hash equal.
         object.__setattr__(self, "speed", float(self.speed))
         object.__setattr__(self, "cores", int(self.cores))

@@ -18,11 +18,9 @@ from functools import lru_cache
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
-from ..hw.accelerator import NeoModel
-from ..hw.config import DramConfig, GSCoreConfig
-from ..hw.gpu import OrinGpuModel
-from ..hw.gscore import GSCoreModel
+from ..hw.config import DramConfig
 from ..hw.stages import SequenceReport
+from ..hw.system import get_system, registered_systems
 from ..hw.workload import WorkloadModel
 
 if TYPE_CHECKING:
@@ -263,9 +261,11 @@ def simulate_system(
 ) -> SequenceReport:
     """Simulate one (system, scene, resolution) cell.
 
-    ``system`` is one of ``"orin"``, ``"gscore"``, ``"neo"``, ``"neo-s"``,
-    ``"orin-neo-sw"``.  ASIC models use the edge DRAM bandwidth; the GPU
-    always runs at Orin's native 204.8 GB/s.  Reports are served from the
+    ``system`` is any name in the hardware registry (:data:`SYSTEMS`, i.e.
+    :func:`repro.hw.system.registered_systems`; enumerate with ``repro
+    systems list``).  ``dram_policy="edge"`` systems use the given DRAM
+    bandwidth; ``"native"`` systems (the GPU) always run at their own
+    memory system, e.g. Orin's 204.8 GB/s.  Reports are served from the
     active config's :class:`~repro.runtime.cache.ResultCache` when possible.
     """
     num_frames = resolve_frames(num_frames)
@@ -300,8 +300,17 @@ def simulate_system(
     return report
 
 
-#: System names :func:`build_system_model` understands.
-SYSTEMS: tuple[str, ...] = ("orin", "orin-neo-sw", "gscore", "neo", "neo-s")
+def __getattr__(name: str):
+    """Module attribute hook: ``SYSTEMS`` reads the live registry.
+
+    The system names :func:`build_system_model` understands — resolved on
+    every access (PEP 562) rather than snapshotted at import, so backends
+    registered after this module loads still appear and the tuple can never
+    drift from the actual dispatch.
+    """
+    if name == "SYSTEMS":
+        return registered_systems()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def build_system_model(
@@ -313,24 +322,18 @@ def build_system_model(
     """Instantiate a hardware model by name; returns ``(model, tile_size)``.
 
     Shared by :func:`simulate_system` and the sweep executor
-    (:mod:`repro.sweeps.executor`).  ASIC models take the given DRAM
-    configuration; the GPU always runs at Orin's native bandwidth.
+    (:mod:`repro.sweeps.executor`).  Dispatch goes through the system
+    registry (:func:`repro.hw.system.get_system`): an unknown name raises
+    ``KeyError`` listing the registered options, and derived variants
+    (``neo-s``, ``gscore-32c``, ...) apply their declarative overlays here.
+    ``dram_policy="edge"`` systems take the given DRAM configuration; the
+    GPU always runs at Orin's native bandwidth.
     """
     if dram is None:
         dram = DramConfig()
-    if system == "orin":
-        model = OrinGpuModel(**model_kwargs)
-    elif system == "orin-neo-sw":
-        model = OrinGpuModel(neo_software=True, **model_kwargs)
-    elif system == "gscore":
-        model = GSCoreModel(config=GSCoreConfig(cores=cores), dram=dram, **model_kwargs)
-    elif system == "neo":
-        model = NeoModel(dram=dram, **model_kwargs)
-    elif system == "neo-s":
-        model = NeoModel(dram=dram, sorting_engine_only=True, **model_kwargs)
-    else:
-        raise KeyError(f"unknown system {system!r}; options: {list(SYSTEMS)}")
-    return model, model.config.tile_size
+    spec = get_system(system)
+    model = spec.build(dram=dram, cores=cores, **model_kwargs)
+    return model, model.tile_size
 
 
 def _simulate_system_uncached(

@@ -49,6 +49,18 @@ from .stages import (
     StageTraffic,
     effective_pairs,
 )
+from .system import (
+    FrameBatch,
+    ReportBatch,
+    SystemModel,
+    SystemSpec,
+    TrafficBatch,
+    get_system,
+    iter_systems,
+    register_system,
+    register_variant,
+    registered_systems,
+)
 from .workload import FrameGeometry, FrameWorkload, WorkloadModel, pair_lists
 
 __all__ = [
@@ -62,6 +74,7 @@ __all__ = [
     "EDGE_BANDWIDTH_GBPS",
     "FEATURE_2D_BYTES",
     "FEATURE_3D_BYTES",
+    "FrameBatch",
     "FrameGeometry",
     "FrameReport",
     "FrameWorkload",
@@ -85,11 +98,20 @@ __all__ = [
     "groups_for_tile",
     "jobs_from_occupancy",
     "rasterize_tile_timeline",
+    "ReportBatch",
     "SequenceReport",
     "StageTraffic",
+    "SystemModel",
+    "SystemSpec",
+    "TrafficBatch",
     "TrafficLedger",
     "WorkloadModel",
     "effective_pairs",
+    "get_system",
+    "iter_systems",
+    "register_system",
+    "register_variant",
+    "registered_systems",
     "gscore_summary",
     "neo_breakdown",
     "neo_summary",

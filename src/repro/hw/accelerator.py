@@ -16,6 +16,10 @@ serial overhead, reflecting the deeply pipelined design: in every evaluated
 configuration Neo is memory-bound, which is why cutting sorting traffic
 translates almost 1:1 into frame time.
 
+The per-sequence loop lives in :class:`~repro.hw.system.SystemModel`; this
+module supplies only Neo's traffic/latency equations, vectorized over the
+frame axis of a :class:`~repro.hw.system.FrameBatch`.
+
 Ablations (Fig. 18):
 
 * ``sorting_engine_only=True`` (**Neo-S**) — the Sorting Engine is attached
@@ -30,18 +34,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from .config import DramConfig, NeoConfig
 from .stages import (
     CULL_PROBE_BYTES,
     FEATURE_2D_BYTES,
     FEATURE_3D_BYTES,
     PIXEL_BYTES,
-    FrameReport,
-    SequenceReport,
-    StageTraffic,
-    effective_pairs,
 )
-from .workload import FrameWorkload
+from .system import (
+    FrameBatch,
+    ReportBatch,
+    SystemModel,
+    TrafficBatch,
+    register_system,
+    register_variant,
+)
 
 #: Gaussian-table entry bytes (32-bit ID with valid bit + 32-bit depth).
 _ENTRY_BYTES = 8
@@ -83,7 +92,7 @@ _INIT_SORT_PASSES = 2
 
 
 @dataclass
-class NeoModel:
+class NeoModel(SystemModel):
     """Performance model of the Neo accelerator.
 
     Parameters
@@ -105,24 +114,19 @@ class NeoModel:
     name: str = "neo"
 
     def __post_init__(self) -> None:
-        if self.sorting_engine_only:
+        # Auto-name only the canonical ablations; a variant's custom name
+        # (e.g. "neo-lite") survives its overlay flags.
+        if self.sorting_engine_only and self.name == "neo":
             self.name = "neo-s"
-        elif not self.defer_depth_update:
+        elif not self.defer_depth_update and self.name == "neo":
             self.name = "neo-eager-depth"
 
     # ------------------------------------------------------------------
-    def frame_traffic(self, workload: FrameWorkload) -> StageTraffic:
-        """DRAM bytes per stage for one frame (streamed component)."""
-        streamed, _random = self._traffic_split(workload)
-        return streamed
-
-    def _traffic_split(
-        self, workload: FrameWorkload
-    ) -> tuple[StageTraffic, float]:
-        """(streamed stage traffic, random-access bytes) for one frame."""
-        visible = workload.visible
-        total = workload.num_gaussians
-        pairs = workload.pairs
+    def _traffic_split(self, batch: FrameBatch) -> tuple[TrafficBatch, np.ndarray]:
+        """(streamed stage traffic, random-access bytes) per frame."""
+        visible = batch.visible
+        total = batch.num_gaussians
+        pairs = batch.pairs
 
         feature = (
             visible * FEATURE_3D_BYTES
@@ -130,87 +134,113 @@ class NeoModel:
             + visible * FEATURE_2D_BYTES
         )
 
-        if workload.frame_index == 0:
-            # Cold start: conventional sort of every tile from scratch.
-            sorting = pairs * _ENTRY_BYTES * (1 + 2 * _INIT_SORT_PASSES)
-        else:
-            # Dynamic Partial Sorting: one read + one write of the table,
-            # plus the small incoming tables (written by preprocessing,
-            # read back and merged by the Sorting Engine).
-            sorting = 2 * pairs * _ENTRY_BYTES + 2 * workload.incoming_pairs * _ENTRY_BYTES
+        # Frame 0 cold-starts with a conventional sort of every tile from
+        # scratch; later frames run Dynamic Partial Sorting — one read + one
+        # write of the table, plus the small incoming tables (written by
+        # preprocessing, read back and merged by the Sorting Engine).
+        cold = pairs * _ENTRY_BYTES * (1 + 2 * _INIT_SORT_PASSES)
+        warm = 2 * pairs * _ENTRY_BYTES + 2 * batch.incoming_pairs * _ENTRY_BYTES
+        sorting = np.where(batch.frame_index == 0, cold, warm)
 
-        random_bytes = 0.0
+        random_bytes = np.zeros_like(pairs)
         if self.sorting_engine_only:
             # Post-processing pass: each visible Gaussian's refreshed depth
             # is gathered from the feature table (random, one burst each)
             # and the per-tile table metadata is rewritten.
             random_bytes = visible * _RANDOM_BURST_BYTES
-            sorting += pairs * _ENTRY_BYTES
+            sorting = sorting + pairs * _ENTRY_BYTES
         elif not self.defer_depth_update:
             # Eager refresh: an extra streamed read+write of the table
             # (section 4.4 reports +33.2 % traffic without deferral).
-            sorting += 2 * pairs * _ENTRY_BYTES
+            sorting = sorting + 2 * pairs * _ENTRY_BYTES
 
-        blended = effective_pairs(workload, _TERMINATION_DEPTH_64)
-        raster = (
-            blended * FEATURE_2D_BYTES
-            + workload.width * workload.height * PIXEL_BYTES
-        )
+        blended = batch.effective_pairs(_TERMINATION_DEPTH_64)
+        raster = blended * FEATURE_2D_BYTES + batch.pixels * PIXEL_BYTES
         if self.sorting_engine_only:
             # GSCore-style rasterizer: bitmaps materialized and re-read.
-            raster += 2 * pairs * _BITMAP_BYTES_64
+            raster = raster + 2 * pairs * _BITMAP_BYTES_64
 
-        streamed = StageTraffic(
+        streamed = TrafficBatch(
             feature_extraction=feature, sorting=sorting, rasterization=raster
         )
         return streamed, random_bytes
 
+    def batch_traffic(self, batch: FrameBatch) -> TrafficBatch:
+        """DRAM bytes per stage per frame (streamed component)."""
+        streamed, _random = self._traffic_split(batch)
+        return streamed
+
     # ------------------------------------------------------------------
-    def frame_report(self, workload: FrameWorkload) -> FrameReport:
-        """Latency and traffic for one frame."""
-        streamed, random_bytes = self._traffic_split(workload)
+    def batch_report(self, batch: FrameBatch) -> ReportBatch:
+        """Latency and traffic for every frame in the batch."""
+        streamed, random_bytes = self._traffic_split(batch)
         peak = self.dram.bandwidth_gbps * 1e9
         memory_time = streamed.total / (peak * _DRAM_EFFICIENCY)
-        memory_time += random_bytes / (peak * _RANDOM_EFFICIENCY)
+        memory_time = memory_time + random_bytes / (peak * _RANDOM_EFFICIENCY)
 
         freq = self.config.frequency_ghz * 1e9
         preproc_time = (
-            workload.num_gaussians
+            batch.num_gaussians
             * _PREPROC_CYCLES_PER_GAUSSIAN
             / (self.config.projection_units * freq)
         )
         sort_time = (
-            workload.pairs * _SORT_CYCLES_PER_ENTRY / (self.config.sorting_cores * freq)
+            batch.pairs * _SORT_CYCLES_PER_ENTRY / (self.config.sorting_cores * freq)
         )
-        blended = effective_pairs(workload, _TERMINATION_DEPTH_64)
+        blended = batch.effective_pairs(_TERMINATION_DEPTH_64)
         raster_time = blended * _RASTER_CYCLES_PER_PAIR / (self.config.total_scus * freq)
-        compute_time = max(preproc_time, sort_time, raster_time)
+        compute_time = np.maximum(np.maximum(preproc_time, sort_time), raster_time)
 
         # Include random bytes in the sorting stage for reporting purposes.
-        traffic = StageTraffic(
+        traffic = TrafficBatch(
             feature_extraction=streamed.feature_extraction,
             sorting=streamed.sorting + random_bytes,
             rasterization=streamed.rasterization,
         )
-        latency_mem = max(memory_time, compute_time) + _SERIAL_OVERHEAD_S
-        return FrameReport(
-            frame_index=workload.frame_index,
+        return ReportBatch(
             traffic=traffic,
-            memory_time_s=latency_mem,
-            compute_time_s=0.0,
+            memory_time_s=np.maximum(memory_time, compute_time) + _SERIAL_OVERHEAD_S,
+            compute_time_s=np.zeros_like(memory_time),
         )
 
-    # ------------------------------------------------------------------
-    def simulate(
-        self, workloads: list[FrameWorkload], scene: str = "scene"
-    ) -> SequenceReport:
-        """Simulate a frame sequence and aggregate the reports."""
-        if not workloads:
-            raise ValueError("need at least one workload")
-        report = SequenceReport(
-            system=self.name,
-            scene=scene,
-            resolution=(workloads[0].width, workloads[0].height),
-        )
-        report.frames = [self.frame_report(w) for w in workloads]
-        return report
+
+# ----------------------------------------------------------------------
+# Registry entries
+# ----------------------------------------------------------------------
+@register_system(
+    "neo",
+    description="Neo accelerator: Dynamic Partial Sorting + deferred depth update",
+    model_cls=NeoModel,
+    config_cls=NeoConfig,
+    dram_policy="edge",
+)
+def _build_neo(dram=None, cores: int = 16, **kwargs) -> NeoModel:
+    """Neo takes the caller's DRAM config; cores are fixed by its config."""
+    if dram is None:
+        dram = DramConfig()
+    return NeoModel(dram=dram, **kwargs)
+
+
+register_variant(
+    "neo-s",
+    base="neo",
+    description="Fig. 18 ablation: Sorting Engine on a GSCore-style rasterizer",
+    overrides={"sorting_engine_only": True},
+)
+
+register_variant(
+    "neo-eager-depth",
+    base="neo",
+    description="Section 4.4 ablation: eager per-frame depth refresh (+33% sort traffic)",
+    overrides={"defer_depth_update": False},
+)
+
+register_variant(
+    "neo-lite",
+    base="neo",
+    description="Cost-down Neo: half the Sorting Cores, 2 Rasterization Cores",
+    overrides={
+        "config": NeoConfig(sorting_cores=8, raster_cores=2),
+        "name": "neo-lite",
+    },
+)

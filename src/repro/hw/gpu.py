@@ -15,6 +15,9 @@ access patterns that cap SIMD efficiency, so sorting becomes compute-bound
 and the stage speedup saturates near 1.5x; rasterization is untouched and
 still dominates GPU runtime.
 
+The per-sequence loop lives in :class:`~repro.hw.system.SystemModel`; this
+module supplies only the GPU's equations, vectorized over the frame axis.
+
 Calibration constants (``_BLEND_RATE``, ``_SORT_SW_RATE``, ...) are fitted
 to the paper's measured Orin numbers (Figs. 10, 15, 16) and documented
 inline; the *structure* (what is read/written how many times) follows the
@@ -25,18 +28,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from .config import GpuConfig
 from .stages import (
     CULL_PROBE_BYTES,
     FEATURE_2D_BYTES,
     FEATURE_3D_BYTES,
     PIXEL_BYTES,
-    FrameReport,
-    SequenceReport,
-    StageTraffic,
-    effective_pairs,
 )
-from .workload import FrameWorkload
+from .system import (
+    FrameBatch,
+    ReportBatch,
+    SystemModel,
+    TrafficBatch,
+    register_system,
+    register_variant,
+)
 
 #: Achievable fraction of peak DRAM bandwidth for the GPU's mostly-streaming
 #: kernels (CUB is heavily optimized; scattered tile gathers lower the mix).
@@ -67,7 +75,7 @@ _SORT_SW_RATE = 2.6e9
 
 
 @dataclass
-class OrinGpuModel:
+class OrinGpuModel(SystemModel):
     """Performance model of the NVIDIA Orin AGX baseline.
 
     Parameters
@@ -87,12 +95,12 @@ class OrinGpuModel:
             self.name = "orin-agx-neo-sw"
 
     # ------------------------------------------------------------------
-    def frame_traffic(self, workload: FrameWorkload) -> StageTraffic:
-        """DRAM bytes per stage for one frame."""
+    def batch_traffic(self, batch: FrameBatch) -> TrafficBatch:
+        """DRAM bytes per stage for every frame in the batch."""
         cfg = self.config
-        visible = workload.visible
-        total = workload.num_gaussians
-        pairs = workload.pairs
+        visible = batch.visible
+        total = batch.num_gaussians
+        pairs = batch.pairs
 
         feature = (
             visible * FEATURE_3D_BYTES
@@ -104,66 +112,70 @@ class OrinGpuModel:
             # Reuse-and-update in software: stream the table once
             # (read + write) and handle the small incoming tables.
             entry = 8  # 32-bit ID + 32-bit depth
-            sorting = 2 * pairs * entry + 2 * workload.incoming_pairs * entry
+            sorting = 2 * pairs * entry + 2 * batch.incoming_pairs * entry
         else:
             # Duplication writes the (key, value) stream once; each radix
             # pass reads and writes it in full.
             entry = cfg.sort_entry_bytes
             sorting = pairs * entry * (1 + 2 * cfg.sort_passes)
 
-        blended = effective_pairs(workload, _TERMINATION_DEPTH_16)
-        raster = (
-            blended * FEATURE_2D_BYTES
-            + workload.width * workload.height * PIXEL_BYTES
-        )
-        return StageTraffic(
+        blended = batch.effective_pairs(_TERMINATION_DEPTH_16)
+        raster = blended * FEATURE_2D_BYTES + batch.pixels * PIXEL_BYTES
+        return TrafficBatch(
             feature_extraction=feature, sorting=sorting, rasterization=raster
         )
 
     # ------------------------------------------------------------------
-    def frame_report(self, workload: FrameWorkload) -> FrameReport:
-        """Latency and traffic for one frame (stages execute sequentially)."""
+    def batch_report(self, batch: FrameBatch) -> ReportBatch:
+        """Latency and traffic per frame (stages execute sequentially)."""
         cfg = self.config
-        traffic = self.frame_traffic(workload)
+        traffic = self.batch_traffic(batch)
         bandwidth = cfg.bandwidth_gbps * 1e9 * _GPU_DRAM_EFFICIENCY
 
-        feature_time = max(
+        feature_time = np.maximum(
             traffic.feature_extraction / bandwidth,
-            workload.num_gaussians / _FEATURE_RATE,
+            batch.num_gaussians / _FEATURE_RATE,
         )
 
         if self.neo_software:
-            sort_compute = workload.pairs / _SORT_SW_RATE
+            sort_compute = batch.pairs / _SORT_SW_RATE
         else:
             sort_compute = 0.0  # CUB radix is bandwidth-bound on Orin
-        sort_time = max(traffic.sorting / bandwidth, sort_compute)
+        sort_time = np.maximum(traffic.sorting / bandwidth, sort_compute)
 
-        blended = effective_pairs(workload, _TERMINATION_DEPTH_16)
+        blended = batch.effective_pairs(_TERMINATION_DEPTH_16)
         blend_pixels = blended * (cfg.tile_size**2) * _BLEND_TILE_COVERAGE
-        raster_time = max(traffic.rasterization / bandwidth, blend_pixels / _BLEND_RATE)
+        raster_time = np.maximum(traffic.rasterization / bandwidth, blend_pixels / _BLEND_RATE)
 
         memory_time = (
             traffic.feature_extraction + traffic.sorting + traffic.rasterization
         ) / bandwidth
         compute_residual = (feature_time + sort_time + raster_time) - memory_time
-        return FrameReport(
-            frame_index=workload.frame_index,
+        return ReportBatch(
             traffic=traffic,
             memory_time_s=memory_time,
-            compute_time_s=max(compute_residual, 0.0),
+            compute_time_s=np.maximum(compute_residual, 0.0),
         )
 
-    # ------------------------------------------------------------------
-    def simulate(
-        self, workloads: list[FrameWorkload], scene: str = "scene"
-    ) -> SequenceReport:
-        """Simulate a frame sequence and aggregate the reports."""
-        if not workloads:
-            raise ValueError("need at least one workload")
-        report = SequenceReport(
-            system=self.name,
-            scene=scene,
-            resolution=(workloads[0].width, workloads[0].height),
-        )
-        report.frames = [self.frame_report(w) for w in workloads]
-        return report
+
+# ----------------------------------------------------------------------
+# Registry entries
+# ----------------------------------------------------------------------
+@register_system(
+    "orin",
+    description="NVIDIA Orin AGX edge GPU running the reference 3DGS pipeline",
+    model_cls=OrinGpuModel,
+    config_cls=GpuConfig,
+    dram_policy="native",
+)
+def _build_orin(dram=None, cores: int = 16, **kwargs) -> OrinGpuModel:
+    """The GPU always runs at Orin's native bandwidth (``dram`` ignored)."""
+    return OrinGpuModel(**kwargs)
+
+
+register_variant(
+    "orin-neo-sw",
+    base="orin",
+    description="Fig. 10 study: Neo's reuse-and-update sorting as CUDA kernels",
+    overrides={"neo_software": True},
+)

@@ -12,6 +12,9 @@ Latency model: DRAM service time for the frame's traffic plus the
 non-overlapped compute component, where compute scales inversely with the
 core count (Fig. 4's behaviour: at 51.2 GB/s, 4x the cores buys only ~1.12x
 FPS because memory time dominates).
+
+The per-sequence loop lives in :class:`~repro.hw.system.SystemModel`; this
+module supplies only GSCore's equations, vectorized over the frame axis.
 """
 
 from __future__ import annotations
@@ -24,12 +27,15 @@ from .stages import (
     FEATURE_2D_BYTES,
     FEATURE_3D_BYTES,
     PIXEL_BYTES,
-    FrameReport,
-    SequenceReport,
-    StageTraffic,
-    effective_pairs,
 )
-from .workload import FrameWorkload
+from .system import (
+    FrameBatch,
+    ReportBatch,
+    SystemModel,
+    TrafficBatch,
+    register_system,
+    register_variant,
+)
 
 #: Sort-entry bytes (32-bit key, 32-bit Gaussian ID).
 _ENTRY_BYTES = 8
@@ -62,7 +68,7 @@ _SERIAL_OVERHEAD_S = 1.0e-3
 
 
 @dataclass
-class GSCoreModel:
+class GSCoreModel(SystemModel):
     """Performance model of the (16-core-scaled) GSCore accelerator."""
 
     config: GSCoreConfig = field(default_factory=GSCoreConfig)
@@ -70,11 +76,11 @@ class GSCoreModel:
     name: str = "gscore"
 
     # ------------------------------------------------------------------
-    def frame_traffic(self, workload: FrameWorkload) -> StageTraffic:
-        """DRAM bytes per stage for one frame."""
-        visible = workload.visible
-        total = workload.num_gaussians
-        pairs = workload.pairs
+    def batch_traffic(self, batch: FrameBatch) -> TrafficBatch:
+        """DRAM bytes per stage for every frame in the batch."""
+        visible = batch.visible
+        total = batch.num_gaussians
+        pairs = batch.pairs
 
         feature = (
             visible * FEATURE_3D_BYTES
@@ -89,49 +95,72 @@ class GSCoreModel:
         # rasterizer (write + read).
         bitmap_traffic = 2 * pairs * _BITMAP_BYTES
 
-        blended = effective_pairs(workload, _TERMINATION_DEPTH_16)
+        blended = batch.effective_pairs(_TERMINATION_DEPTH_16)
         raster = (
             blended * FEATURE_2D_BYTES
             + bitmap_traffic
-            + workload.width * workload.height * PIXEL_BYTES
+            + batch.pixels * PIXEL_BYTES
         )
-        return StageTraffic(
+        return TrafficBatch(
             feature_extraction=feature, sorting=sorting, rasterization=raster
         )
 
     # ------------------------------------------------------------------
-    def frame_report(self, workload: FrameWorkload) -> FrameReport:
-        """Latency and traffic for one frame."""
-        traffic = self.frame_traffic(workload)
+    def batch_report(self, batch: FrameBatch) -> ReportBatch:
+        """Latency and traffic for every frame in the batch."""
+        traffic = self.batch_traffic(batch)
         bandwidth = self.dram.bandwidth_gbps * 1e9 * _DRAM_EFFICIENCY
         memory_time = traffic.total / bandwidth
 
         freq = self.config.frequency_ghz * 1e9
         cores = self.config.cores
-        blended = effective_pairs(workload, _TERMINATION_DEPTH_16)
+        blended = batch.effective_pairs(_TERMINATION_DEPTH_16)
         raster_cycles = blended * _RASTER_CYCLES_PER_PAIR
-        raster_cycles += workload.nonempty_tiles * _CYCLES_PER_TILE
-        sort_cycles = workload.pairs * _SORT_CYCLES_PER_PAIR
+        raster_cycles = raster_cycles + batch.nonempty_tiles * _CYCLES_PER_TILE
+        sort_cycles = batch.pairs * _SORT_CYCLES_PER_PAIR
         compute_time = (raster_cycles + sort_cycles) / (cores * freq) + _SERIAL_OVERHEAD_S
 
-        return FrameReport(
-            frame_index=workload.frame_index,
+        return ReportBatch(
             traffic=traffic,
             memory_time_s=memory_time,
             compute_time_s=compute_time,
         )
 
-    # ------------------------------------------------------------------
-    def simulate(
-        self, workloads: list[FrameWorkload], scene: str = "scene"
-    ) -> SequenceReport:
-        """Simulate a frame sequence and aggregate the reports."""
-        if not workloads:
-            raise ValueError("need at least one workload")
-        report = SequenceReport(
-            system=self.name,
-            scene=scene,
-            resolution=(workloads[0].width, workloads[0].height),
+
+# ----------------------------------------------------------------------
+# Registry entries
+# ----------------------------------------------------------------------
+@register_system(
+    "gscore",
+    description="GSCore ASIC baseline: hierarchical re-sort each frame, 16 cores",
+    model_cls=GSCoreModel,
+    config_cls=GSCoreConfig,
+    dram_policy="edge",
+)
+def _build_gscore(dram=None, cores: int = 16, config=None, **kwargs) -> GSCoreModel:
+    """GSCore honors the ``cores`` knob unless a full config is supplied.
+
+    Config-pinning variants (``gscore-32c``) reject a *conflicting* explicit
+    core count instead of silently ignoring it — a cores sweep over a
+    pinned-core variant would otherwise produce identical rows under
+    different labels and cache keys.  The global default (16) is treated as
+    "unspecified" because every caller materializes it.
+    """
+    if dram is None:
+        dram = DramConfig()
+    if config is None:
+        config = GSCoreConfig(cores=cores)
+    elif cores != 16 and cores != config.cores:
+        raise ValueError(
+            f"this system pins {config.cores} cores; got cores={cores} — "
+            "sweep core counts on the base 'gscore' system instead"
         )
-        report.frames = [self.frame_report(w) for w in workloads]
-        return report
+    return GSCoreModel(config=config, dram=dram, **kwargs)
+
+
+register_variant(
+    "gscore-32c",
+    base="gscore",
+    description="GSCore scaled to 32 cores: compute headroom, same memory wall",
+    overrides={"config": GSCoreConfig(cores=32), "name": "gscore-32c"},
+)

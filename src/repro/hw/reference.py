@@ -1,0 +1,285 @@
+"""Frozen per-frame scalar reference for the system models.
+
+This module preserves, verbatim, the pre-registry scalar implementations of
+the three hardware models' per-frame equations — the code that used to live
+inside ``NeoModel.frame_report`` / ``GSCoreModel.frame_report`` /
+``OrinGpuModel.frame_report`` before the shared vectorized core landed in
+:mod:`repro.hw.system`.  It exists for two callers only:
+
+* the **golden equivalence tests** (``tests/test_system_registry.py``),
+  which assert that for every registered system the vectorized
+  ``simulate()`` is *bit-identical* to this scalar per-frame loop — the
+  pre/post-refactor pin;
+* the **vectorization micro-benchmark** (``benchmarks/`` and the CI smoke),
+  which times this loop against the batched core on a long trajectory.
+
+Because this is a historical pin, it must only change when a model's
+physics deliberately changes — keep it in lockstep with the equations in
+:mod:`repro.hw.accelerator` / :mod:`repro.hw.gscore` / :mod:`repro.hw.gpu`.
+"""
+
+from __future__ import annotations
+
+from .accelerator import (
+    _BITMAP_BYTES_64,
+    _DRAM_EFFICIENCY as _NEO_DRAM_EFFICIENCY,
+    _ENTRY_BYTES as _NEO_ENTRY_BYTES,
+    _INIT_SORT_PASSES,
+    _PREPROC_CYCLES_PER_GAUSSIAN,
+    _RANDOM_BURST_BYTES,
+    _RANDOM_EFFICIENCY,
+    _RASTER_CYCLES_PER_PAIR as _NEO_RASTER_CYCLES_PER_PAIR,
+    _SERIAL_OVERHEAD_S as _NEO_SERIAL_OVERHEAD_S,
+    _SORT_CYCLES_PER_ENTRY,
+    _TERMINATION_DEPTH_64,
+    NeoModel,
+)
+from .gpu import (
+    _BLEND_RATE,
+    _BLEND_TILE_COVERAGE,
+    _FEATURE_RATE,
+    _GPU_DRAM_EFFICIENCY,
+    _SORT_SW_RATE,
+    _TERMINATION_DEPTH_16 as _GPU_TERMINATION_DEPTH_16,
+    OrinGpuModel,
+)
+from .gscore import (
+    _CYCLES_PER_TILE,
+    _DRAM_EFFICIENCY as _GSCORE_DRAM_EFFICIENCY,
+    _ENTRY_BYTES as _GSCORE_ENTRY_BYTES,
+    _BITMAP_BYTES,
+    _RASTER_CYCLES_PER_PAIR as _GSCORE_RASTER_CYCLES_PER_PAIR,
+    _SERIAL_OVERHEAD_S as _GSCORE_SERIAL_OVERHEAD_S,
+    _SORT_CYCLES_PER_PAIR,
+    _TERMINATION_DEPTH_16 as _GSCORE_TERMINATION_DEPTH_16,
+    GSCoreModel,
+)
+from .stages import (
+    CULL_PROBE_BYTES,
+    FEATURE_2D_BYTES,
+    FEATURE_3D_BYTES,
+    PIXEL_BYTES,
+    FrameReport,
+    SequenceReport,
+    StageTraffic,
+    effective_pairs,
+)
+from .system import SystemModel
+from .workload import FrameWorkload
+
+
+# ----------------------------------------------------------------------
+# Neo
+# ----------------------------------------------------------------------
+def _neo_traffic_split(
+    model: NeoModel, workload: FrameWorkload
+) -> tuple[StageTraffic, float]:
+    visible = workload.visible
+    total = workload.num_gaussians
+    pairs = workload.pairs
+
+    feature = (
+        visible * FEATURE_3D_BYTES
+        + (total - visible) * CULL_PROBE_BYTES
+        + visible * FEATURE_2D_BYTES
+    )
+
+    if workload.frame_index == 0:
+        sorting = pairs * _NEO_ENTRY_BYTES * (1 + 2 * _INIT_SORT_PASSES)
+    else:
+        sorting = (
+            2 * pairs * _NEO_ENTRY_BYTES
+            + 2 * workload.incoming_pairs * _NEO_ENTRY_BYTES
+        )
+
+    random_bytes = 0.0
+    if model.sorting_engine_only:
+        random_bytes = visible * _RANDOM_BURST_BYTES
+        sorting += pairs * _NEO_ENTRY_BYTES
+    elif not model.defer_depth_update:
+        sorting += 2 * pairs * _NEO_ENTRY_BYTES
+
+    blended = effective_pairs(workload, _TERMINATION_DEPTH_64)
+    raster = blended * FEATURE_2D_BYTES + workload.width * workload.height * PIXEL_BYTES
+    if model.sorting_engine_only:
+        raster += 2 * pairs * _BITMAP_BYTES_64
+
+    streamed = StageTraffic(
+        feature_extraction=feature, sorting=sorting, rasterization=raster
+    )
+    return streamed, random_bytes
+
+
+def _neo_frame_report(model: NeoModel, workload: FrameWorkload) -> FrameReport:
+    streamed, random_bytes = _neo_traffic_split(model, workload)
+    peak = model.dram.bandwidth_gbps * 1e9
+    memory_time = streamed.total / (peak * _NEO_DRAM_EFFICIENCY)
+    memory_time += random_bytes / (peak * _RANDOM_EFFICIENCY)
+
+    freq = model.config.frequency_ghz * 1e9
+    preproc_time = (
+        workload.num_gaussians
+        * _PREPROC_CYCLES_PER_GAUSSIAN
+        / (model.config.projection_units * freq)
+    )
+    sort_time = (
+        workload.pairs * _SORT_CYCLES_PER_ENTRY / (model.config.sorting_cores * freq)
+    )
+    blended = effective_pairs(workload, _TERMINATION_DEPTH_64)
+    raster_time = (
+        blended * _NEO_RASTER_CYCLES_PER_PAIR / (model.config.total_scus * freq)
+    )
+    compute_time = max(preproc_time, sort_time, raster_time)
+
+    traffic = StageTraffic(
+        feature_extraction=streamed.feature_extraction,
+        sorting=streamed.sorting + random_bytes,
+        rasterization=streamed.rasterization,
+    )
+    latency_mem = max(memory_time, compute_time) + _NEO_SERIAL_OVERHEAD_S
+    return FrameReport(
+        frame_index=workload.frame_index,
+        traffic=traffic,
+        memory_time_s=latency_mem,
+        compute_time_s=0.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# GSCore
+# ----------------------------------------------------------------------
+def _gscore_frame_traffic(model: GSCoreModel, workload: FrameWorkload) -> StageTraffic:
+    visible = workload.visible
+    total = workload.num_gaussians
+    pairs = workload.pairs
+
+    feature = (
+        visible * FEATURE_3D_BYTES
+        + (total - visible) * CULL_PROBE_BYTES
+        + visible * FEATURE_2D_BYTES
+    )
+    sorting = pairs * _GSCORE_ENTRY_BYTES * (1 + 2 * model.config.sorting_passes)
+    bitmap_traffic = 2 * pairs * _BITMAP_BYTES
+
+    blended = effective_pairs(workload, _GSCORE_TERMINATION_DEPTH_16)
+    raster = (
+        blended * FEATURE_2D_BYTES
+        + bitmap_traffic
+        + workload.width * workload.height * PIXEL_BYTES
+    )
+    return StageTraffic(
+        feature_extraction=feature, sorting=sorting, rasterization=raster
+    )
+
+
+def _gscore_frame_report(model: GSCoreModel, workload: FrameWorkload) -> FrameReport:
+    traffic = _gscore_frame_traffic(model, workload)
+    bandwidth = model.dram.bandwidth_gbps * 1e9 * _GSCORE_DRAM_EFFICIENCY
+    memory_time = traffic.total / bandwidth
+
+    freq = model.config.frequency_ghz * 1e9
+    cores = model.config.cores
+    blended = effective_pairs(workload, _GSCORE_TERMINATION_DEPTH_16)
+    raster_cycles = blended * _GSCORE_RASTER_CYCLES_PER_PAIR
+    raster_cycles += workload.nonempty_tiles * _CYCLES_PER_TILE
+    sort_cycles = workload.pairs * _SORT_CYCLES_PER_PAIR
+    compute_time = (
+        (raster_cycles + sort_cycles) / (cores * freq) + _GSCORE_SERIAL_OVERHEAD_S
+    )
+
+    return FrameReport(
+        frame_index=workload.frame_index,
+        traffic=traffic,
+        memory_time_s=memory_time,
+        compute_time_s=compute_time,
+    )
+
+
+# ----------------------------------------------------------------------
+# Orin GPU
+# ----------------------------------------------------------------------
+def _orin_frame_traffic(model: OrinGpuModel, workload: FrameWorkload) -> StageTraffic:
+    cfg = model.config
+    visible = workload.visible
+    total = workload.num_gaussians
+    pairs = workload.pairs
+
+    feature = (
+        visible * FEATURE_3D_BYTES
+        + (total - visible) * CULL_PROBE_BYTES
+        + visible * FEATURE_2D_BYTES
+    )
+
+    if model.neo_software:
+        entry = 8
+        sorting = 2 * pairs * entry + 2 * workload.incoming_pairs * entry
+    else:
+        entry = cfg.sort_entry_bytes
+        sorting = pairs * entry * (1 + 2 * cfg.sort_passes)
+
+    blended = effective_pairs(workload, _GPU_TERMINATION_DEPTH_16)
+    raster = blended * FEATURE_2D_BYTES + workload.width * workload.height * PIXEL_BYTES
+    return StageTraffic(
+        feature_extraction=feature, sorting=sorting, rasterization=raster
+    )
+
+
+def _orin_frame_report(model: OrinGpuModel, workload: FrameWorkload) -> FrameReport:
+    cfg = model.config
+    traffic = _orin_frame_traffic(model, workload)
+    bandwidth = cfg.bandwidth_gbps * 1e9 * _GPU_DRAM_EFFICIENCY
+
+    feature_time = max(
+        traffic.feature_extraction / bandwidth,
+        workload.num_gaussians / _FEATURE_RATE,
+    )
+
+    if model.neo_software:
+        sort_compute = workload.pairs / _SORT_SW_RATE
+    else:
+        sort_compute = 0.0
+    sort_time = max(traffic.sorting / bandwidth, sort_compute)
+
+    blended = effective_pairs(workload, _GPU_TERMINATION_DEPTH_16)
+    blend_pixels = blended * (cfg.tile_size**2) * _BLEND_TILE_COVERAGE
+    raster_time = max(traffic.rasterization / bandwidth, blend_pixels / _BLEND_RATE)
+
+    memory_time = (
+        traffic.feature_extraction + traffic.sorting + traffic.rasterization
+    ) / bandwidth
+    compute_residual = (feature_time + sort_time + raster_time) - memory_time
+    return FrameReport(
+        frame_index=workload.frame_index,
+        traffic=traffic,
+        memory_time_s=memory_time,
+        compute_time_s=max(compute_residual, 0.0),
+    )
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+def scalar_frame_report(model: SystemModel, workload: FrameWorkload) -> FrameReport:
+    """One frame through the frozen scalar equations for ``model``."""
+    if isinstance(model, NeoModel):
+        return _neo_frame_report(model, workload)
+    if isinstance(model, GSCoreModel):
+        return _gscore_frame_report(model, workload)
+    if isinstance(model, OrinGpuModel):
+        return _orin_frame_report(model, workload)
+    raise TypeError(f"no scalar reference for {type(model).__name__}")
+
+
+def scalar_simulate(
+    model: SystemModel, workloads: list[FrameWorkload], scene: str = "scene"
+) -> SequenceReport:
+    """The historical per-frame Python loop: one scalar report per frame."""
+    if not workloads:
+        raise ValueError("need at least one workload")
+    report = SequenceReport(
+        system=model.name,
+        scene=scene,
+        resolution=(workloads[0].width, workloads[0].height),
+    )
+    report.frames = [scalar_frame_report(model, w) for w in workloads]
+    return report

@@ -16,8 +16,8 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Any
 
-from ..experiments.runner import SYSTEMS
 from ..hw.config import EDGE_BANDWIDTH_GBPS
+from ..hw.system import registered_systems
 from ..scene.camera import RESOLUTIONS
 from ..scene.datasets import SCENE_SPECS, TRAJECTORY_ARCHETYPES
 
@@ -34,8 +34,9 @@ class HardwareConfig:
     Parameters
     ----------
     system:
-        Performance model to run (``orin``, ``orin-neo-sw``, ``gscore``,
-        ``neo``, ``neo-s``).
+        Performance model to run — any name in the hardware registry
+        (:func:`repro.hw.system.registered_systems`; ``repro systems list``
+        enumerates them).
     resolution:
         Named target resolution the workload is scaled to.
     bandwidth_gbps:
@@ -57,8 +58,10 @@ class HardwareConfig:
         object.__setattr__(self, "resolution", str(self.resolution).lower())
         object.__setattr__(self, "bandwidth_gbps", float(self.bandwidth_gbps))
         object.__setattr__(self, "cores", int(self.cores))
-        if self.system not in SYSTEMS:
-            raise ValueError(f"unknown system {self.system!r}; options: {list(SYSTEMS)}")
+        if self.system not in registered_systems():
+            raise ValueError(
+                f"unknown system {self.system!r}; options: {list(registered_systems())}"
+            )
         if self.resolution not in RESOLUTIONS:
             raise ValueError(
                 f"unknown resolution {self.resolution!r}; options: {sorted(RESOLUTIONS)}"

@@ -20,6 +20,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "tpu", "family", "qhd"])
 
+    def test_simulate_accepts_registered_variants(self):
+        # The simulate choices come from the registry, not a hand-kept list.
+        args = build_parser().parse_args(["simulate", "neo-lite", "family", "hd"])
+        assert args.system == "neo-lite"
+
+    def test_systems_subcommands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["systems", "list"]).systems_command == "list"
+        args = parser.parse_args(["systems", "show", "neo"])
+        assert args.systems_command == "show" and args.name == "neo"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["systems"])
+
     def test_rejects_missing_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -62,6 +75,49 @@ class TestMain:
         assert main(["simulate", "neo", "horse", "hd", "--frames", "3"]) == 0
         out = capsys.readouterr().out
         assert "FPS" in out and "sorting" in out
+
+    def test_list_names_registered_systems(self, capsys):
+        from repro.hw.system import registered_systems
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in registered_systems():
+            assert name in out
+
+    def test_systems_list(self, capsys):
+        from repro.hw.system import registered_systems
+
+        assert main(["systems", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in registered_systems():
+            assert name in out
+        assert "= neo + overlay" in out  # variants show their base
+        assert "[native]" in out and "[edge]" in out
+
+    def test_systems_list_ids_is_script_friendly(self, capsys):
+        from repro.hw.system import registered_systems
+
+        assert main(["systems", "list", "--ids"]) == 0
+        out = capsys.readouterr().out
+        assert out.split() == list(registered_systems())
+
+    def test_systems_show_base_system(self, capsys):
+        assert main(["systems", "show", "neo"]) == 0
+        out = capsys.readouterr().out
+        assert "NeoModel" in out
+        assert "sorting_cores" in out  # config fields listed
+        assert "defer_depth_update" in out  # model kwargs listed
+
+    def test_systems_show_variant_lists_overlay(self, capsys):
+        assert main(["systems", "show", "neo-s"]) == 0
+        out = capsys.readouterr().out
+        assert "base:        neo" in out
+        assert "sorting_engine_only=True" in out
+
+    def test_systems_show_unknown_errors_with_options(self, capsys):
+        assert main(["systems", "show", "tpu"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown system" in err and "neo-lite" in err
 
     def test_render(self, tmp_path, capsys):
         out_path = tmp_path / "frame.ppm"

@@ -56,8 +56,10 @@ class TestExperimentResult:
 
 
 class TestSimulateSystem:
-    def test_all_systems(self):
-        for system in ("orin", "orin-neo-sw", "gscore", "neo", "neo-s"):
+    def test_all_registered_systems(self):
+        from repro.hw.system import registered_systems
+
+        for system in registered_systems():
             report = simulate_system(system, "family", "hd", num_frames=3)
             assert report.fps > 0
 
