@@ -9,21 +9,16 @@ and asserts (a) bit-identical reports and (b) a wall-clock speedup floor.
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
 import pytest
 
+from repro.bench.suites import _best_of, reports_identical
+from repro.bench.synthetic import NUM_FRAMES, synthetic_workloads
 from repro.experiments.runner import build_system_model
 from repro.hw import reference
-from repro.hw.workload import FrameWorkload
 
 # Wall-clock assertions don't belong in the fast CI leg; like the other
 # timing-sensitive benches here, run only in the full (slow) suite.
 pytestmark = pytest.mark.slow
-
-#: Long-trajectory length; roughly 3x the paper's 60-frame sequences.
-NUM_FRAMES = 200
 
 #: Wall-clock floor asserted for simulate() vs the per-frame loop.  The
 #: measured advantage is ~1.7-2.3x (report-object construction is common to
@@ -34,65 +29,13 @@ SPEEDUP_FLOOR = 1.3
 SYSTEMS = ("orin", "gscore", "neo")
 
 
-def synthetic_workloads(num_frames: int = NUM_FRAMES, tile: int = 16) -> list[FrameWorkload]:
-    """A deterministic paper-scale trajectory, synthesized analytically.
-
-    Counts drift sinusoidally around Mill-19-like magnitudes so frame 0's
-    cold start, churn terms, and early-termination clamping all exercise.
-    """
-    rng = np.random.default_rng(20260730)
-    width, height = 2560, 1440
-    num_tiles = (width // tile) * (height // tile)
-    workloads = []
-    for i in range(num_frames):
-        pairs = 3.0e6 * (1.0 + 0.2 * np.sin(i / 9.0)) + float(rng.integers(0, 10_000))
-        incoming = 0.0 if i == 0 else pairs * (0.05 + 0.02 * np.cos(i / 5.0))
-        nonempty = int(num_tiles * 0.9)
-        workloads.append(
-            FrameWorkload(
-                frame_index=i,
-                width=width,
-                height=height,
-                tile_size=tile,
-                num_gaussians=2.0e6,
-                visible=1.1e6 * (1.0 + 0.1 * np.sin(i / 7.0)),
-                pairs=pairs,
-                incoming_pairs=incoming,
-                outgoing_pairs=incoming,
-                nonempty_tiles=nonempty,
-                num_tiles=num_tiles,
-                mean_occupancy=pairs / nonempty,
-                chunks=float(int(pairs) // 256),
-                mean_radius_px=24.0,
-            )
-        )
-    return workloads
-
-
-def _best_of(fn, repeats: int = 3) -> tuple[float, object]:
-    best = float("inf")
-    value = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        value = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, value
-
-
 def measure(system: str, num_frames: int = NUM_FRAMES) -> dict:
     """Time the vectorized core vs the scalar per-frame loop for one system."""
     model, tile = build_system_model(system)
     workloads = synthetic_workloads(num_frames, tile)
     scalar_s, scalar_report = _best_of(lambda: reference.scalar_simulate(model, workloads))
     vector_s, vector_report = _best_of(lambda: model.simulate(workloads))
-    identical = all(
-        g.traffic.feature_extraction == w.traffic.feature_extraction
-        and g.traffic.sorting == w.traffic.sorting
-        and g.traffic.rasterization == w.traffic.rasterization
-        and g.memory_time_s == w.memory_time_s
-        and g.compute_time_s == w.compute_time_s
-        for g, w in zip(vector_report.frames, scalar_report.frames)
-    )
+    identical = reports_identical(vector_report, scalar_report)
     return {
         "system": system,
         "frames": num_frames,

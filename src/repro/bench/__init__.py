@@ -1,0 +1,31 @@
+"""Performance-tracking benchmark subsystem (``repro bench``).
+
+Named benchmarks time the repo's vectorized hot paths against the frozen
+scalar references (:mod:`repro.pipeline.reference`, :mod:`repro.hw.reference`)
+and verify on every run that the two produce **bit-identical** results —
+the same gate the golden tests pin, re-checked on the exact workloads being
+timed.  Results serialize to a schema'd ``BENCH_pipeline.json`` artifact so
+each PR lands on a recorded perf trajectory, and CI runs the quick variant
+as a regression gate (identity must hold, speedups must clear each bench's
+conservative floor).
+"""
+
+from .core import (
+    BENCH_SCHEMA,
+    BenchRecord,
+    bench_descriptions,
+    bench_report,
+    list_benchmarks,
+    run_benchmarks,
+    write_bench_json,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchRecord",
+    "bench_descriptions",
+    "bench_report",
+    "list_benchmarks",
+    "run_benchmarks",
+    "write_bench_json",
+]

@@ -1,0 +1,145 @@
+"""Benchmark registry, result schema, and JSON artifact writer."""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Artifact schema identifier; bump when the JSON layout changes.
+BENCH_SCHEMA = "repro-bench/1"
+
+
+@dataclass
+class BenchRecord:
+    """Outcome of one named benchmark.
+
+    Attributes
+    ----------
+    baseline_ms / optimized_ms:
+        Best-of-N wall-clock of the frozen scalar reference vs the
+        vectorized path, in milliseconds.
+    speedup:
+        ``baseline_ms / optimized_ms``.
+    floor:
+        Conservative speedup the CI gate enforces (well under the typical
+        measurement so machine noise cannot flake the job).
+    identical:
+        Whether the two paths produced bit-identical results on the timed
+        workload.
+    detail:
+        Bench-specific extras (per-stage timings, workload shape, ...).
+    """
+
+    quick: bool
+    baseline_ms: float
+    optimized_ms: float
+    speedup: float
+    floor: float
+    identical: bool
+    detail: dict = field(default_factory=dict)
+    #: Stamped from the registry by :func:`run_benchmarks` so the CLI list,
+    #: the table, and the JSON artifact can never disagree.
+    name: str = ""
+    description: str = ""
+
+    @property
+    def passed(self) -> bool:
+        """Identity held and the speedup cleared the floor."""
+        return self.identical and self.speedup >= self.floor
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "quick": self.quick,
+            "baseline_ms": self.baseline_ms,
+            "optimized_ms": self.optimized_ms,
+            "speedup": self.speedup,
+            "floor": self.floor,
+            "identical": self.identical,
+            "passed": self.passed,
+            "detail": self.detail,
+        }
+
+    def to_text(self) -> str:
+        """One summary line for the CLI table."""
+        status = "ok" if self.passed else ("DIVERGED" if not self.identical else "BELOW FLOOR")
+        return (
+            f"{self.name:18s} baseline {self.baseline_ms:9.1f} ms   "
+            f"vectorized {self.optimized_ms:9.1f} ms   "
+            f"{self.speedup:5.2f}x (floor {self.floor:.2f}x)  [{status}]"
+        )
+
+
+_REGISTRY: dict[str, tuple[str, Callable[[bool], BenchRecord]]] = {}
+
+
+def register_bench(name: str, description: str):
+    """Register a benchmark; the wrapped callable maps ``quick`` to a record."""
+
+    def decorate(fn: Callable[[bool], BenchRecord]):
+        if name in _REGISTRY:
+            raise ValueError(f"benchmark {name!r} already registered")
+        _REGISTRY[name] = (description, fn)
+        return fn
+
+    return decorate
+
+
+def list_benchmarks() -> list[str]:
+    """Registered benchmark names, in registration order."""
+    _ensure_loaded()
+    return list(_REGISTRY)
+
+
+def bench_descriptions() -> dict[str, str]:
+    """Name -> one-line description."""
+    _ensure_loaded()
+    return {name: desc for name, (desc, _) in _REGISTRY.items()}
+
+
+def run_benchmarks(names: list[str] | None = None, quick: bool = False) -> list[BenchRecord]:
+    """Run the named benchmarks (all when ``names`` is empty) in order."""
+    _ensure_loaded()
+    selected = names or list(_REGISTRY)
+    unknown = [n for n in selected if n not in _REGISTRY]
+    if unknown:
+        raise KeyError(
+            f"unknown benchmark(s) {', '.join(unknown)}; "
+            f"available: {', '.join(_REGISTRY)}"
+        )
+    records = []
+    for name in selected:
+        description, fn = _REGISTRY[name]
+        record = fn(quick)
+        record.name = name
+        record.description = description
+        records.append(record)
+    return records
+
+
+def bench_report(records: list[BenchRecord], quick: bool) -> dict:
+    """Schema'd artifact payload for a benchmark run."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "created_unix": time.time(),
+        "quick": quick,
+        "ok": all(r.passed for r in records),
+        "benchmarks": [r.as_dict() for r in records],
+    }
+
+
+def write_bench_json(path: str, records: list[BenchRecord], quick: bool) -> str:
+    """Write the artifact JSON and return the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(bench_report(records, quick), handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def _ensure_loaded() -> None:
+    """Import the suite modules so their ``@register_bench`` hooks run."""
+    from . import suites  # noqa: F401

@@ -1,0 +1,252 @@
+"""The named benchmarks behind ``repro bench``.
+
+Every bench times a vectorized path against its frozen scalar reference on
+the *same* inputs and checks bit-identity of the outputs while doing so —
+a speedup with diverging results is a failure, not a win.  Floors are set
+well below typical measurements so CI noise cannot flake the gate; the
+recorded ``speedup`` is the number that tracks the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..pipeline import reference as pipeline_ref
+from ..pipeline.rasterizer import rasterize
+from ..pipeline.renderer import Renderer, aggregate_timings
+from ..pipeline.sorting import kendall_tau_distance, sort_tiles
+from ..pipeline.tiling import TileGrid, assign_to_tiles
+from ..pipeline.projection import project_gaussians
+from ..pipeline.culling import frustum_cull
+from ..scene.datasets import default_trajectory, load_scene
+from .core import BenchRecord, register_bench
+from .synthetic import NUM_FRAMES, synthetic_workloads
+
+#: Scene preset every pipeline bench renders (deterministic synthetic scene).
+BENCH_SCENE = "family"
+
+
+def _best_of(fn, repeats: int = 3) -> tuple[float, object]:
+    """Minimum wall-clock over ``repeats`` calls, plus the last value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def _prepared_frames(num_gaussians: int, num_frames: int, width: int, height: int):
+    """Render-ready (projected, grid, assignment) tuples for a trajectory."""
+    scene = load_scene(BENCH_SCENE, num_gaussians=num_gaussians)
+    cameras = default_trajectory(
+        BENCH_SCENE, num_frames=num_frames, width=width, height=height
+    )
+    frames = []
+    for camera in cameras:
+        culled = frustum_cull(scene, camera)
+        projected = project_gaussians(scene, camera, culled.visible_ids)
+        grid = TileGrid.for_camera(camera, 16)
+        frames.append((projected, grid, assign_to_tiles(projected, grid)))
+    return scene, cameras, frames
+
+
+def reports_identical(got, want) -> bool:
+    """Bitwise comparison of two SequenceReports, frame by frame.
+
+    Shared with ``benchmarks/test_vectorized_core.py`` so the bench gate and
+    the pytest gate can never drift on what "identical" means.
+    """
+    return all(
+        g.traffic.feature_extraction == s.traffic.feature_extraction
+        and g.traffic.sorting == s.traffic.sorting
+        and g.traffic.rasterization == s.traffic.rasterization
+        and g.memory_time_s == s.memory_time_s
+        and g.compute_time_s == s.compute_time_s
+        for g, s in zip(got.frames, want.frames)
+    )
+
+
+def _raster_results_equal(got, want) -> bool:
+    """Bitwise comparison of two RasterResults (image, valid bits, stats)."""
+    if not np.array_equal(got.image, want.image):
+        return False
+    if got.valid_bits.keys() != want.valid_bits.keys():
+        return False
+    for tile, bits in got.valid_bits.items():
+        if not np.array_equal(bits, want.valid_bits[tile]):
+            return False
+    return got.stats == want.stats
+
+
+@register_bench(
+    "raster_chunked",
+    "chunked-vectorized rasterizer vs the scalar per-Gaussian blending loop",
+)
+def bench_raster_chunked(quick: bool) -> BenchRecord:
+    gaussians, frames_n, w, h, repeats = (
+        (2000, 1, 320, 180, 2) if quick else (6000, 3, 480, 270, 3)
+    )
+    _, _, frames = _prepared_frames(gaussians, frames_n, w, h)
+    sorted_frames = [(p, g, sort_tiles(a)) for p, g, a in frames]
+
+    base_s, base_out = _best_of(
+        lambda: [pipeline_ref.rasterize(st, p, g) for p, g, st in sorted_frames], repeats
+    )
+    opt_s, opt_out = _best_of(
+        lambda: [rasterize(st, p, g) for p, g, st in sorted_frames], repeats
+    )
+    identical = all(_raster_results_equal(a, b) for a, b in zip(opt_out, base_out))
+    return BenchRecord(
+        quick=quick,
+        baseline_ms=base_s * 1e3,
+        optimized_ms=opt_s * 1e3,
+        speedup=base_s / opt_s if opt_s else float("inf"),
+        floor=1.3,
+        identical=identical,
+        detail={"gaussians": gaussians, "frames": frames_n, "resolution": [w, h]},
+    )
+
+
+@register_bench(
+    "sort_batched",
+    "single concatenated lexsort vs the per-tile sorting loop",
+)
+def bench_sort_batched(quick: bool) -> BenchRecord:
+    # The sort itself is milliseconds either way; a sub-millisecond quick
+    # workload would be noise-dominated, so quick keeps the full pair table
+    # (the scene prep it pays for is a second or two) and trims repeats.
+    gaussians, frames_n, w, h = 6000, 3, 480, 270
+    repeats = 5 if quick else 7
+    _, _, frames = _prepared_frames(gaussians, frames_n, w, h)
+
+    base_s, base_out = _best_of(
+        lambda: [pipeline_ref.sort_tiles(a) for _, _, a in frames], repeats
+    )
+    opt_s, opt_out = _best_of(lambda: [sort_tiles(a) for _, _, a in frames], repeats)
+    identical = all(
+        np.array_equal(x.tile_rows[t], y.tile_rows[t])
+        and np.array_equal(x.tile_ids[t], y.tile_ids[t])
+        and np.array_equal(x.tile_depths[t], y.tile_depths[t])
+        for x, y in zip(opt_out, base_out)
+        for t in range(x.num_tiles)
+    )
+    return BenchRecord(
+        quick=quick,
+        baseline_ms=base_s * 1e3,
+        optimized_ms=opt_s * 1e3,
+        speedup=base_s / opt_s if opt_s else float("inf"),
+        floor=1.1,
+        identical=identical,
+        detail={"gaussians": gaussians, "frames": frames_n, "resolution": [w, h]},
+    )
+
+
+@register_bench(
+    "order_metrics",
+    "argsort-rank Kendall-tau distance vs the rank-dict + Python merge sort",
+)
+def bench_order_metrics(quick: bool) -> BenchRecord:
+    n = 1500 if quick else 6000
+    rng = np.random.default_rng(20260730)
+    ids = rng.choice(10**7, size=n, replace=False)
+    order_a = rng.permutation(ids)
+    order_b = rng.permutation(ids)
+
+    base_s, base_val = _best_of(
+        lambda: pipeline_ref.kendall_tau_distance(order_a, order_b), 3
+    )
+    opt_s, opt_val = _best_of(lambda: kendall_tau_distance(order_a, order_b), 3)
+    return BenchRecord(
+        quick=quick,
+        baseline_ms=base_s * 1e3,
+        optimized_ms=opt_s * 1e3,
+        speedup=base_s / opt_s if opt_s else float("inf"),
+        floor=2.0,
+        identical=opt_val == base_val,
+        detail={"table_length": n},
+    )
+
+
+def _reference_render_sequence(scene, cameras):
+    """Render a trajectory through the frozen scalar sort + raster stages."""
+    results = []
+    for camera in cameras:
+        culled = frustum_cull(scene, camera)
+        projected = project_gaussians(scene, camera, culled.visible_ids)
+        grid = TileGrid.for_camera(camera, 16)
+        assignment = assign_to_tiles(projected, grid)
+        sorted_tiles = pipeline_ref.sort_tiles(assignment)
+        results.append(pipeline_ref.rasterize(sorted_tiles, projected, grid))
+    return results
+
+
+@register_bench(
+    "render_sequence",
+    "end-to-end vectorized pipeline vs the scalar reference on a long trajectory",
+)
+def bench_render_sequence(quick: bool) -> BenchRecord:
+    gaussians, frames_n, w, h = (4000, 8, 320, 180) if quick else (4000, NUM_FRAMES, 320, 180)
+    scene = load_scene(BENCH_SCENE, num_gaussians=gaussians)
+    cameras = default_trajectory(BENCH_SCENE, num_frames=frames_n, width=w, height=h)
+
+    start = time.perf_counter()
+    base_out = _reference_render_sequence(scene, cameras)
+    base_s = time.perf_counter() - start
+
+    renderer = Renderer(scene)
+    start = time.perf_counter()
+    records = renderer.render_sequence(cameras)
+    opt_s = time.perf_counter() - start
+
+    identical = all(
+        _raster_results_equal(rec.raster, ref_res)
+        for rec, ref_res in zip(records, base_out)
+    )
+    stage_totals = aggregate_timings(records)
+    return BenchRecord(
+        quick=quick,
+        baseline_ms=base_s * 1e3,
+        optimized_ms=opt_s * 1e3,
+        speedup=base_s / opt_s if opt_s else float("inf"),
+        floor=1.5,
+        identical=identical,
+        detail={
+            "gaussians": gaussians,
+            "frames": frames_n,
+            "resolution": [w, h],
+            "stage_seconds": stage_totals.as_dict(),
+            "baseline_ms_per_frame": base_s * 1e3 / frames_n,
+            "optimized_ms_per_frame": opt_s * 1e3 / frames_n,
+        },
+    )
+
+
+@register_bench(
+    "hw_system",
+    "vectorized system-model sequence core vs the per-frame scalar loop (neo)",
+)
+def bench_hw_system(quick: bool) -> BenchRecord:
+    from ..experiments.runner import build_system_model
+    from ..hw import reference as hw_ref
+
+    # The simulation core is sub-millisecond either way; the full 200-frame
+    # trajectory is what makes the measurement stable, so quick keeps it.
+    num_frames = NUM_FRAMES
+    model, tile = build_system_model("neo")
+    workloads = synthetic_workloads(num_frames, tile)
+
+    base_s, base_report = _best_of(lambda: hw_ref.scalar_simulate(model, workloads), 3)
+    opt_s, opt_report = _best_of(lambda: model.simulate(workloads), 3)
+    return BenchRecord(
+        quick=quick,
+        baseline_ms=base_s * 1e3,
+        optimized_ms=opt_s * 1e3,
+        speedup=base_s / opt_s if opt_s else float("inf"),
+        floor=1.3,
+        identical=reports_identical(opt_report, base_report),
+        detail={"system": "neo", "frames": num_frames},
+    )

@@ -13,6 +13,8 @@ Usage::
     repro sweep report out/motion_stress.json
     repro cache info                      # cache location and size
     repro cache clear                     # drop every cached artifact
+    repro bench --list                    # named performance benchmarks
+    repro bench --quick --out BENCH_pipeline.json   # CI identity+floor gate
     repro render family out.ppm           # render one frame to a PPM
     repro simulate neo family qhd         # one system/scene/resolution
     repro systems list                    # registered hardware backends
@@ -266,6 +268,45 @@ def _write_sweep_files(report, out_dir: str) -> None:
         print(f"wrote {path}")
 
 
+def _cmd_bench(args) -> int:
+    from .bench import bench_descriptions, list_benchmarks, run_benchmarks, write_bench_json
+
+    if args.list:
+        for name, description in bench_descriptions().items():
+            print(f"{name:18s} {description}")
+        return 0
+
+    # Validate names up front so a KeyError raised *inside* a benchmark
+    # body surfaces as a traceback, not a bogus usage error.
+    available = list_benchmarks()
+    unknown = [n for n in (args.names or []) if n not in available]
+    if unknown:
+        print(
+            f"error: unknown benchmark(s) {', '.join(unknown)}; "
+            f"available: {', '.join(available)}",
+            file=sys.stderr,
+        )
+        return 2
+    records = run_benchmarks(args.names or None, quick=args.quick)
+
+    for record in records:
+        print(record.to_text())
+    if args.out:
+        print(f"wrote {write_bench_json(args.out, records, args.quick)}")
+
+    failed = [r for r in records if not r.passed]
+    if failed and not args.no_gate:
+        for record in failed:
+            reason = (
+                "diverged from the scalar reference"
+                if not record.identical
+                else f"{record.speedup:.2f}x below the {record.floor:.2f}x floor"
+            )
+            print(f"error: benchmark {record.name} {reason}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from .runtime import ResultCache
 
@@ -435,6 +476,27 @@ def build_parser() -> argparse.ArgumentParser:
     cache_p.add_argument("action", choices=("info", "clear"))
     cache_p.add_argument("--cache-dir", default=None, help="cache root (default .repro_cache)")
 
+    bench_p = sub.add_parser(
+        "bench",
+        help="named performance benchmarks: vectorized paths vs frozen scalar "
+             "references, with a bit-identity + speedup-floor gate",
+    )
+    bench_p.add_argument("names", nargs="*", help="benchmark names (default: all)")
+    bench_p.add_argument(
+        "--list", action="store_true", help="list benchmarks with descriptions"
+    )
+    bench_p.add_argument(
+        "--quick", action="store_true",
+        help="reduced workloads for CI smoke (floors unchanged)",
+    )
+    bench_p.add_argument(
+        "--out", default=None, help="write the BENCH_*.json artifact to this path"
+    )
+    bench_p.add_argument(
+        "--no-gate", action="store_true",
+        help="report results but exit 0 even on identity/floor failures",
+    )
+
     render_p = sub.add_parser("render", help="render one frame to a PPM image")
     render_p.add_argument("scene", help="scene preset name")
     render_p.add_argument("output", help="output .ppm path")
@@ -482,6 +544,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiments": _cmd_experiments,
         "sweep": _cmd_sweep,
         "cache": _cmd_cache,
+        "bench": _cmd_bench,
         "render": _cmd_render,
         "simulate": _cmd_simulate,
         "systems": _cmd_systems,

@@ -309,9 +309,10 @@ class WorkloadModel:
         scale = self.count_scale
         mean_occ = (pairs_f / nonempty * scale) if nonempty else 0.0
         chunk_size = 256
-        chunks = sum(
-            -(-int(c * scale) // chunk_size) for c in occupancy[occupancy > 0]
-        )
+        # Per-tile ceil-div over scaled occupancy, batched.  The cast
+        # truncates like the scalar ``int()`` did (occupancy is nonnegative).
+        scaled_occ = (occupancy[occupancy > 0] * scale).astype(np.int64)
+        chunks = int((-(-scaled_occ // chunk_size)).sum())
         scale_px = height / self.capture_height
         mean_radius = float(geo.radii.mean()) * scale_px if geo.num_visible else 0.0
         return FrameWorkload(
@@ -378,11 +379,13 @@ class WorkloadModel:
         prev_keys = prev_tiles.astype(np.int64) * (1 << 32) + prev_ids
         retained = np.isin(prev_keys, cur_keys)
 
-        fractions = []
-        for tile in np.unique(prev_tiles):
-            mask = prev_tiles == tile
-            fractions.append(retained[mask].mean())
-        return np.asarray(fractions)
+        # One bincount pair instead of a mask scan per tile.  Retained
+        # counts are exact integers, so sum/size division reproduces the
+        # per-tile ``mean()`` bit-for-bit; ``np.unique`` kept the tiles
+        # sorted, and so does ``return_inverse``.
+        _, inverse, counts = np.unique(prev_tiles, return_inverse=True, return_counts=True)
+        kept = np.bincount(inverse, weights=retained, minlength=counts.shape[0])
+        return kept / counts
 
     def order_differences(
         self, frame: int, resolution: str | tuple[int, int], tile_size: int

@@ -14,6 +14,7 @@ from .rasterizer import (
     MAX_ALPHA,
     MIN_ALPHA,
     NEO_SUBTILE_SIZE,
+    RASTER_CHUNK_SIZE,
     TERMINATION_THRESHOLD,
     RasterResult,
     RasterStats,
@@ -26,6 +27,8 @@ from .renderer import (
     FrameStats,
     Renderer,
     SortStrategy,
+    StageTimings,
+    aggregate_timings,
 )
 from .sorting import (
     SortedTiles,
@@ -57,14 +60,17 @@ __all__ = [
     "NEO_SUBTILE_SIZE",
     "NEO_TILE_SIZE",
     "ProjectedGaussians",
+    "RASTER_CHUNK_SIZE",
     "RasterResult",
     "RasterStats",
     "Renderer",
     "SortStrategy",
     "SortedTiles",
+    "StageTimings",
     "TERMINATION_THRESHOLD",
     "TileAssignment",
     "TileGrid",
+    "aggregate_timings",
     "assign_to_tiles",
     "compute_cov2d",
     "conic_from_cov2d",

@@ -9,6 +9,7 @@ performance models in :mod:`repro.hw`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
@@ -98,6 +99,54 @@ class FrameStats:
 
 
 @dataclass
+class StageTimings:
+    """Wall-clock seconds each pipeline stage spent on one frame.
+
+    Collected unconditionally — five ``perf_counter`` reads per frame are
+    noise next to any stage — and consumed by ``repro bench``, which needs
+    a per-stage attribution of where a sequence's time went.
+    """
+
+    cull_s: float = 0.0
+    project_s: float = 0.0
+    tile_s: float = 0.0
+    sort_s: float = 0.0
+    raster_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """Sum over the instrumented stages."""
+        return self.cull_s + self.project_s + self.tile_s + self.sort_s + self.raster_s
+
+    def merge(self, other: "StageTimings") -> None:
+        """Accumulate another frame's stage times into this total."""
+        self.cull_s += other.cull_s
+        self.project_s += other.project_s
+        self.tile_s += other.tile_s
+        self.sort_s += other.sort_s
+        self.raster_s += other.raster_s
+
+    def as_dict(self) -> dict[str, float]:
+        """Stage-name -> seconds mapping (JSON-friendly)."""
+        return {
+            "cull_s": self.cull_s,
+            "project_s": self.project_s,
+            "tile_s": self.tile_s,
+            "sort_s": self.sort_s,
+            "raster_s": self.raster_s,
+            "total_s": self.total_s,
+        }
+
+
+def aggregate_timings(records: list["FrameRecord"]) -> StageTimings:
+    """Sum per-stage timings over a rendered sequence."""
+    total = StageTimings()
+    for record in records:
+        total.merge(record.timings)
+    return total
+
+
+@dataclass
 class FrameRecord:
     """Everything produced while rendering one frame."""
 
@@ -108,6 +157,7 @@ class FrameRecord:
     sorted_tiles: SortedTiles
     raster: RasterResult
     stats: FrameStats
+    timings: StageTimings = field(default_factory=StageTimings)
 
     @property
     def image(self) -> np.ndarray:
@@ -141,17 +191,30 @@ class Renderer:
 
     def render(self, camera: Camera, frame_index: int = 0) -> FrameRecord:
         """Render one frame and return the full record."""
+        t0 = time.perf_counter()
         culling = frustum_cull(self.scene, camera)
+        t1 = time.perf_counter()
         projected = project_gaussians(self.scene, camera, culling.visible_ids)
+        t2 = time.perf_counter()
         grid = TileGrid.for_camera(camera, self.tile_size)
         assignment = assign_to_tiles(projected, grid)
+        t3 = time.perf_counter()
         sorted_tiles = self.strategy.sort_frame(assignment, frame_index)
+        t4 = time.perf_counter()
         raster = rasterize(
             sorted_tiles,
             projected,
             grid,
             background=self.background,
             subtile_size=self.subtile_size,
+        )
+        t5 = time.perf_counter()
+        timings = StageTimings(
+            cull_s=t1 - t0,
+            project_s=t2 - t1,
+            tile_s=t3 - t2,
+            sort_s=t4 - t3,
+            raster_s=t5 - t4,
         )
         self.strategy.observe_raster(frame_index, sorted_tiles, raster)
         stats = FrameStats(
@@ -173,6 +236,7 @@ class Renderer:
             sorted_tiles=sorted_tiles,
             raster=raster,
             stats=stats,
+            timings=timings,
         )
 
     def render_sequence(self, cameras: list[Camera], jobs: int = 1) -> list[FrameRecord]:

@@ -51,18 +51,47 @@ def sort_tiles(assignment: TileAssignment) -> SortedTiles:
 
     Ties break on global Gaussian ID so the order is deterministic, mirroring
     the stable key construction (depth | ID) of the CUDA radix sort.
+
+    All tiles are sorted in *one* concatenated pass instead of a ``lexsort``
+    call per tile: the frame's Gaussians are ranked once by ``(depth, ID)``
+    (a ``lexsort`` over the ~m projected Gaussians rather than the ~n >> m
+    duplicated pairs), and the pair table is then ordered by the integer key
+    ``tile * m + rank`` — unique per pair, since a Gaussian appears at most
+    once per tile, so a plain ``argsort`` suffices and no float comparisons
+    touch the hot sort.  Within a tile, ordering by rank is ordering by
+    ``(depth, ID)``, so splitting at the tile boundaries reproduces the
+    per-tile loop's arrays exactly — pinned by the golden test against
+    :func:`repro.pipeline.reference.sort_tiles`.
     """
-    tile_rows: list[np.ndarray] = []
-    tile_ids: list[np.ndarray] = []
-    tile_depths: list[np.ndarray] = []
     proj = assignment.projected
-    for rows in assignment.tile_rows:
-        depths = proj.depths[rows]
-        ids = proj.ids[rows]
-        order = np.lexsort((ids, depths))
-        tile_rows.append(rows[order])
-        tile_ids.append(ids[order])
-        tile_depths.append(depths[order])
+    m = len(proj)
+    num_tiles = len(assignment.tile_rows)
+    counts = np.fromiter(
+        (rows.shape[0] for rows in assignment.tile_rows), dtype=np.int64, count=num_tiles
+    )
+    all_rows = (
+        np.concatenate(assignment.tile_rows)
+        if counts.sum()
+        else np.empty(0, dtype=np.int64)
+    )
+    tile_of = np.repeat(np.arange(num_tiles, dtype=np.int64), counts)
+
+    depth_order = np.lexsort((proj.ids, proj.depths))
+    rank = np.empty(m, dtype=np.int64)
+    rank[depth_order] = np.arange(m, dtype=np.int64)
+    pair_ranks = rank[all_rows]
+    if num_tiles * max(m, 1) < np.iinfo(np.int64).max:
+        order = np.argsort(tile_of * m + pair_ranks)
+    else:  # overflow-proof fallback; unreachable for any realistic grid
+        order = np.lexsort((pair_ranks, tile_of))
+
+    rows_sorted = all_rows[order]
+    ids_sorted = proj.ids[rows_sorted]
+    depths_sorted = proj.depths[rows_sorted]
+    bounds = np.concatenate([[0], np.cumsum(counts)])
+    tile_rows = [rows_sorted[bounds[t] : bounds[t + 1]] for t in range(num_tiles)]
+    tile_ids = [ids_sorted[bounds[t] : bounds[t + 1]] for t in range(num_tiles)]
+    tile_depths = [depths_sorted[bounds[t] : bounds[t + 1]] for t in range(num_tiles)]
     return SortedTiles(tile_rows=tile_rows, tile_ids=tile_ids, tile_depths=tile_depths)
 
 
@@ -100,39 +129,63 @@ def kendall_tau_distance(order_a: np.ndarray, order_b: np.ndarray) -> float:
     n = order_a.shape[0]
     if n < 2:
         return 0.0
-    if not np.array_equal(np.sort(order_a), np.sort(order_b)):
+    sorted_a = np.sort(order_a)
+    if not np.array_equal(sorted_a, np.sort(order_b)):
         raise ValueError("orderings must contain the same IDs")
+    if np.any(sorted_a[1:] == sorted_a[:-1]):
+        # A duplicated ID has no well-defined rank; the scalar dict lookup
+        # silently resolved it last-wins, so reject it outright instead.
+        raise ValueError("orderings must not contain duplicate IDs")
 
-    rank_in_b = {int(g): i for i, g in enumerate(order_b)}
-    sequence = np.fromiter((rank_in_b[int(g)] for g in order_a), dtype=np.int64, count=n)
+    # Rank-in-b lookup without a Python dict: sort b's IDs once, then map
+    # every ID in a to its position in b via binary search (both lists hold
+    # the same ID set, so every lookup hits exactly).
+    by_id = np.argsort(order_b, kind="stable")
+    sequence = by_id[np.searchsorted(order_b[by_id], order_a)]
     inversions = _count_inversions(sequence)
     return inversions / (n * (n - 1) / 2)
 
 
 def _count_inversions(seq: np.ndarray) -> int:
-    """Count inversions with an iterative bottom-up merge sort."""
-    seq = seq.copy()
-    buffer = np.empty_like(seq)
+    """Count inversions of a permutation of ``0..n-1`` in O(n log^2 n).
+
+    Uses merge sort's level decomposition without the Python merge loop: at
+    the level of block size ``2 * width``, each block's left and right
+    halves preserve the original relative order of their elements, so every
+    inversion is a (left, right) cross pair at exactly one level.  Cross
+    pairs for *all* blocks of a level are counted with a single flat
+    ``searchsorted`` — each block's values are offset into a disjoint range
+    so the concatenation of the per-block sorted left halves stays globally
+    sorted.  Equivalent to the scalar bottom-up merge sort preserved in
+    :func:`repro.pipeline.reference.kendall_tau_distance`.
+    """
+    seq = np.asarray(seq, dtype=np.int64)
     n = seq.shape[0]
+    if n < 2:
+        return 0
     inversions = 0
     width = 1
     while width < n:
-        for lo in range(0, n, 2 * width):
-            mid = min(lo + width, n)
-            hi = min(lo + 2 * width, n)
-            i, j, k = lo, mid, lo
-            while i < mid and j < hi:
-                if seq[i] <= seq[j]:
-                    buffer[k] = seq[i]
-                    i += 1
-                else:
-                    buffer[k] = seq[j]
-                    inversions += mid - i
-                    j += 1
-                k += 1
-            buffer[k : k + mid - i] = seq[i:mid]
-            k += mid - i
-            buffer[k : k + hi - j] = seq[j:hi]
-            seq[lo:hi] = buffer[lo:hi]
-        width *= 2
+        block = 2 * width
+        num_blocks = -(-n // block)
+        # Pad to whole blocks with a sentinel above every real value; the
+        # sentinel never counts on either side.
+        padded = np.full(num_blocks * block, n, dtype=np.int64)
+        padded[:n] = seq
+        resh = padded.reshape(num_blocks, block)
+        left = np.sort(resh[:, :width], axis=1)
+        right = resh[:, width:]
+
+        offsets = np.arange(num_blocks, dtype=np.int64) * (n + 1)
+        flat_left = (left + offsets[:, None]).ravel()
+        flat_right = (right + offsets[:, None]).ravel()
+        le_counts = np.searchsorted(flat_left, flat_right, side="right") - np.repeat(
+            np.arange(num_blocks, dtype=np.int64) * width, width
+        )
+        # Left elements greater than a right element r are the block's real
+        # left residents minus those <= r.
+        real_left = np.clip(n - np.arange(num_blocks, dtype=np.int64) * block, 0, width)
+        gt = np.repeat(real_left, width) - le_counts
+        inversions += int(gt[right.ravel() < n].sum())
+        width = block
     return inversions

@@ -22,6 +22,13 @@ NEO_TILE_SIZE = 64
 #: Tile edge used by the reference CUDA 3DGS rasterizer.
 GPU_TILE_SIZE = 16
 
+#: Shared immutable empty row list: tiles with no Gaussians all reference
+#: this one array instead of allocating ``num_tiles`` fresh empties per
+#: frame (QHD at 16 px tiles is ~14k tiles; empty frames are common in
+#: teleport/shake stress trajectories).
+_EMPTY_ROWS = np.empty(0, dtype=np.int64)
+_EMPTY_ROWS.setflags(write=False)
+
 
 @dataclass(frozen=True)
 class TileGrid:
@@ -150,8 +157,9 @@ def assign_to_tiles(projected: ProjectedGaussians, grid: TileGrid) -> TileAssign
     """Duplicate projected Gaussians into every tile their bbox overlaps."""
     m = len(projected)
     if m == 0:
-        empty = [np.empty(0, dtype=np.int64) for _ in range(grid.num_tiles)]
-        return TileAssignment(grid=grid, tile_rows=empty, projected=projected)
+        return TileAssignment(
+            grid=grid, tile_rows=[_EMPTY_ROWS] * grid.num_tiles, projected=projected
+        )
 
     tx0, tx1, ty0, ty1 = tile_ranges(projected, grid)
     nx = np.maximum(tx1 - tx0 + 1, 0)
@@ -183,11 +191,21 @@ def assign_to_tiles(projected: ProjectedGaussians, grid: TileGrid) -> TileAssign
     tiles = tiles[overlap]
     rows = rows[overlap]
 
+    if rows.shape[0] == 0:
+        # Every splat was culled by the exact circle test: skip the sort and
+        # share one empty row array across all tiles.
+        return TileAssignment(
+            grid=grid, tile_rows=[_EMPTY_ROWS] * grid.num_tiles, projected=projected
+        )
+
     order = np.argsort(tiles, kind="stable")
     tiles_sorted = tiles[order]
     rows_sorted = rows[order]
     boundaries = np.searchsorted(tiles_sorted, np.arange(grid.num_tiles + 1))
     tile_rows = [
-        rows_sorted[boundaries[t] : boundaries[t + 1]] for t in range(grid.num_tiles)
+        rows_sorted[boundaries[t] : boundaries[t + 1]]
+        if boundaries[t + 1] > boundaries[t]
+        else _EMPTY_ROWS
+        for t in range(grid.num_tiles)
     ]
     return TileAssignment(grid=grid, tile_rows=tile_rows, projected=projected)

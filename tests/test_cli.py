@@ -128,3 +128,41 @@ class TestMain:
         assert code == 0
         assert out_path.exists()
         assert out_path.read_bytes().startswith(b"P6\n96 54\n")
+
+
+class TestBenchCli:
+    def test_parser_accepts_bench_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "order_metrics", "--quick", "--out", "b.json", "--no-gate"]
+        )
+        assert args.command == "bench"
+        assert args.names == ["order_metrics"] and args.quick and args.no_gate
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("raster_chunked", "sort_batched", "order_metrics",
+                     "render_sequence", "hw_system"):
+            assert name in out
+
+    def test_bench_unknown_name_errors(self, capsys):
+        assert main(["bench", "nope"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_bench_runs_and_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_pipeline.json"
+        code = main(["bench", "order_metrics", "hw_system", "--quick",
+                     "--out", str(out_path), "--no-gate"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "order_metrics" in out and "floor" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == "repro-bench/1"
+        assert payload["quick"] is True
+        names = [b["name"] for b in payload["benchmarks"]]
+        assert names == ["order_metrics", "hw_system"]
+        for bench in payload["benchmarks"]:
+            assert bench["identical"] is True
+            assert bench["baseline_ms"] > 0 and bench["optimized_ms"] > 0

@@ -46,3 +46,25 @@ class TestRenderer:
         record = Renderer(small_scene, subtile_size=None).render(camera)
         assert record.stats.subtile_tests == 0
         assert record.image.mean() > 0.01
+
+
+class TestStageTimings:
+    def test_every_frame_carries_timings(self, small_scene, camera_path):
+        records = Renderer(small_scene).render_sequence(camera_path)
+        for record in records:
+            stages = record.timings.as_dict()
+            assert stages["total_s"] >= 0.0
+            assert stages["raster_s"] >= 0.0
+            assert record.timings.total_s == (
+                record.timings.cull_s + record.timings.project_s
+                + record.timings.tile_s + record.timings.sort_s
+                + record.timings.raster_s
+            )
+
+    def test_aggregate_timings_sums_frames(self, small_scene, camera_path):
+        from repro.pipeline.renderer import aggregate_timings
+
+        records = Renderer(small_scene).render_sequence(camera_path)
+        total = aggregate_timings(records)
+        assert total.raster_s == sum(r.timings.raster_s for r in records)
+        assert total.total_s > 0.0
