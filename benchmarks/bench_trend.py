@@ -1,0 +1,106 @@
+"""Bench-trend gate: fail CI when speedups regress vs the committed baseline.
+
+The `repro bench` gate enforces *absolute* speedup floors, which are set
+conservatively so machine noise cannot flake the job — meaning a path can
+gradually decay from 2.5x toward its 1.3x floor without CI ever noticing.
+This script closes that gap: it diffs a fresh ``BENCH_pipeline.json``
+against the committed baseline and exits nonzero when any recorded
+speedup regressed by more than ``--max-regression`` (default 25%).
+
+Benchmarks present only in the fresh run (newly added, baseline not yet
+refreshed) pass with a note; benchmarks missing from the fresh run fail —
+a silently dropped benchmark is exactly the regression this gate exists
+to catch.
+
+Usage (the CI bench-smoke job)::
+
+    repro bench --quick --out BENCH_fresh.json
+    python benchmarks/bench_trend.py \\
+        --baseline BENCH_pipeline.json --fresh BENCH_fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path: str) -> dict[str, dict]:
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    return {bench["name"]: bench for bench in report.get("benchmarks", [])}
+
+
+def compare(
+    baseline: dict[str, dict], fresh: dict[str, dict], max_regression: float
+) -> tuple[list[str], bool]:
+    """Per-benchmark trend lines plus an overall pass verdict."""
+    lines = []
+    ok = True
+    for name, base in baseline.items():
+        if name not in fresh:
+            lines.append(f"{name:18s} MISSING from fresh run (baseline {base['speedup']:.2f}x)")
+            ok = False
+            continue
+        base_speedup = float(base["speedup"])
+        fresh_speedup = float(fresh[name]["speedup"])
+        ratio = fresh_speedup / base_speedup if base_speedup > 0 else float("inf")
+        status = "ok"
+        if ratio < 1.0 - max_regression:
+            status = f"REGRESSED >{max_regression:.0%}"
+            ok = False
+        lines.append(
+            f"{name:18s} baseline {base_speedup:5.2f}x   fresh {fresh_speedup:5.2f}x   "
+            f"({ratio:6.1%} of baseline)  [{status}]"
+        )
+    for name, bench in fresh.items():
+        if name not in baseline:
+            lines.append(
+                f"{name:18s} new benchmark ({bench['speedup']:.2f}x), "
+                "not in the committed baseline yet"
+            )
+    return lines, ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline", default="BENCH_pipeline.json",
+        help="committed baseline artifact (default BENCH_pipeline.json)",
+    )
+    parser.add_argument(
+        "--fresh", required=True, help="artifact from the fresh `repro bench` run"
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="maximum allowed fractional speedup loss vs baseline (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_benchmarks(args.baseline)
+        fresh = load_benchmarks(args.fresh)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load bench artifacts: {exc}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"error: no benchmarks in baseline {args.baseline!r}", file=sys.stderr)
+        return 2
+
+    lines, ok = compare(baseline, fresh, args.max_regression)
+    print(f"bench trend vs {args.baseline} (max regression {args.max_regression:.0%}):")
+    for line in lines:
+        print(f"  {line}")
+    if not ok:
+        print(
+            "error: at least one benchmark regressed beyond the trend threshold "
+            "(or vanished); if intentional, refresh the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

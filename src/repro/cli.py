@@ -11,8 +11,11 @@ Usage::
     repro sweep list                      # predefined scenario sweeps
     repro sweep run --spec motion_stress --jobs 4 --out out/
     repro sweep report out/motion_stress.json
-    repro cache info                      # cache location and size
+    repro cache info                      # cache location and per-namespace size
     repro cache clear                     # drop every cached artifact
+    repro cache clear --namespace tenants/acme   # one tenant's rows only
+    repro serve --port 7341 --workers 4   # multi-tenant simulation service
+    repro loadgen --port 7341 --verify --out BENCH_service.json
     repro bench --list                    # named performance benchmarks
     repro bench --quick --out BENCH_pipeline.json   # CI identity+floor gate
     repro render family out.ppm           # render one frame to a PPM
@@ -317,12 +320,91 @@ def _cmd_cache(args) -> int:
         print(f"code version: {info['code_version']}")
         if not info["namespaces"]:
             print("(empty)")
+        width = max((len(n) for n in info["namespaces"]), default=12)
         for name, stats in info["namespaces"].items():
-            print(f"  {name:12s} {stats['entries']:5d} entries  {stats['bytes'] / 1e6:8.2f} MB")
+            print(
+                f"  {name:{width}s} {stats['entries']:5d} entries  "
+                f"{stats['bytes'] / 1e6:8.2f} MB"
+            )
         print(f"total:        {info['total_entries']} entries, {info['total_bytes'] / 1e6:.2f} MB")
     else:  # clear
-        removed = cache.clear()
-        print(f"removed {removed} cached entr{'y' if removed == 1 else 'ies'} from {cache.root}")
+        removed = cache.clear(namespace=args.namespace)
+        scope = f" from namespace {args.namespace!r}" if args.namespace else ""
+        print(
+            f"removed {removed} cached entr{'y' if removed == 1 else 'ies'}"
+            f"{scope} from {cache.root}"
+        )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        default_timeout_s=args.timeout,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+    try:
+        serve(config, announce=lambda line: print(line, flush=True))
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+
+    from .service import LoadGenConfig, run_loadgen, summarize, write_service_bench
+
+    def _csv(value: str) -> tuple[str, ...]:
+        return tuple(part.strip() for part in value.split(",") if part.strip())
+
+    config = LoadGenConfig(
+        host=args.host,
+        port=args.port,
+        requests=args.requests,
+        rate=args.rate,
+        tenants=args.tenants,
+        seed=args.seed,
+        frames=args.frames,
+        scenes=_csv(args.scenes),
+        systems=_csv(args.systems),
+        resolutions=_csv(args.resolutions),
+        pool_size=args.pool_size,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        shared_cache=args.shared_cache,
+        wait_server_s=args.wait_server,
+    )
+    try:
+        result = asyncio.run(run_loadgen(config, verify=args.verify))
+    except OSError as exc:
+        print(
+            f"error: cannot reach server at {config.host}:{config.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    print(summarize(result))
+    if args.out:
+        print(f"wrote {write_service_bench(args.out, result)}")
+    if not result.ok:
+        print(
+            "error: replay saw service errors or verification mismatches",
+            file=sys.stderr,
+        )
+        return 1
+    server = result.server_stats.get("metrics", {})
+    if args.assert_coalesce and not server.get("coalesced", 0):
+        print(
+            "error: --assert-coalesce but no request coalesced into a shared "
+            "execution (traffic had no concurrent duplicates?)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -475,6 +557,87 @@ def build_parser() -> argparse.ArgumentParser:
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_p.add_argument("action", choices=("info", "clear"))
     cache_p.add_argument("--cache-dir", default=None, help="cache root (default .repro_cache)")
+    cache_p.add_argument(
+        "--namespace", default=None,
+        help="clear only this namespace, as printed by `cache info` "
+             "(e.g. reports, tenants/acme, tenants/acme/reports)",
+    )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="multi-tenant simulation service: cross-client job coalescing, "
+             "bounded-queue backpressure, warm scene residency, per-tenant caches",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=7341, help="0 picks a free port")
+    serve_p.add_argument(
+        "--workers", type=int, default=2, help="simulation worker pool size (default 2)"
+    )
+    serve_p.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="pending executions admitted before requests are rejected (default 64)",
+    )
+    serve_p.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="default per-request timeout in seconds (requests may override)",
+    )
+    serve_p.add_argument(
+        "--cache-dir", default=".repro_cache",
+        help="root for per-tenant result namespaces (default .repro_cache)",
+    )
+    serve_p.add_argument(
+        "--no-cache", action="store_true", help="serve without any disk persistence"
+    )
+
+    loadgen_p = sub.add_parser(
+        "loadgen",
+        help="replay seeded open-loop mixed traffic against a running server "
+             "and write the BENCH_service.json artifact",
+    )
+    loadgen_p.add_argument("--host", default="127.0.0.1")
+    loadgen_p.add_argument("--port", type=int, default=7341)
+    loadgen_p.add_argument("--requests", type=int, default=120)
+    loadgen_p.add_argument(
+        "--rate", type=float, default=150.0, help="open-loop arrival rate, req/s"
+    )
+    loadgen_p.add_argument("--tenants", type=int, default=4)
+    loadgen_p.add_argument("--seed", type=int, default=0)
+    loadgen_p.add_argument("--frames", type=int, default=2)
+    loadgen_p.add_argument(
+        "--scenes", default="family,horse", help="comma-separated scene presets"
+    )
+    loadgen_p.add_argument(
+        "--systems", default="neo,gscore,orin", help="comma-separated system ids"
+    )
+    loadgen_p.add_argument("--resolutions", default="hd")
+    loadgen_p.add_argument(
+        "--pool-size", type=int, default=10,
+        help="distinct cells sampled from the grid (smaller = more overlap)",
+    )
+    loadgen_p.add_argument("--timeout", type=float, default=120.0)
+    loadgen_p.add_argument(
+        "--retries", type=int, default=3, help="rejection retries per request"
+    )
+    loadgen_p.add_argument(
+        "--shared-cache", action="store_true",
+        help="opt every tenant into the shared cache namespace",
+    )
+    loadgen_p.add_argument(
+        "--wait-server", type=float, default=0.0,
+        help="seconds to keep retrying the initial connect (CI startup races)",
+    )
+    loadgen_p.add_argument(
+        "--out", default=None, help="write the BENCH_service.json artifact here"
+    )
+    loadgen_p.add_argument(
+        "--verify", action="store_true",
+        help="re-run every responded cell directly through execute_cells and "
+             "require byte-identical reports",
+    )
+    loadgen_p.add_argument(
+        "--assert-coalesce", action="store_true",
+        help="exit nonzero unless at least one request coalesced (CI gate)",
+    )
 
     bench_p = sub.add_parser(
         "bench",
@@ -544,6 +707,8 @@ def main(argv: list[str] | None = None) -> int:
         "experiments": _cmd_experiments,
         "sweep": _cmd_sweep,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "bench": _cmd_bench,
         "render": _cmd_render,
         "simulate": _cmd_simulate,

@@ -116,6 +116,38 @@ class SimJob:
         """``model_kwargs`` as a plain dict."""
         return dict(self.model_kwargs)
 
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-safe request form of this cell (service wire format).
+
+        Round-trips through :meth:`from_payload`: the service's coalesce and
+        cache keys are computed from the reconstructed job, so two clients
+        spelling the same cell differently (4 vs 4.0) still collapse.
+        """
+        return {
+            "system": self.system,
+            "scene": self.scene,
+            "resolution": self.resolution,
+            "frames": self.frames,
+            "speed": self.speed,
+            "cores": self.cores,
+            "bandwidth_gbps": self.bandwidth_gbps,
+            "kwargs": self.kwargs,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "SimJob":
+        """Rebuild a cell from :meth:`to_payload` output (missing keys default)."""
+        return cls.make(
+            payload["system"],
+            payload["scene"],
+            payload["resolution"],
+            frames=payload.get("frames"),
+            speed=payload.get("speed", 1.0),
+            cores=payload.get("cores", 16),
+            bandwidth_gbps=payload.get("bandwidth_gbps", 51.2),
+            **dict(payload.get("kwargs") or {}),
+        )
+
     def resolved(self) -> "SimJob":
         """This job with ``frames=None`` pinned to the active config."""
         if self.frames is not None:

@@ -14,10 +14,18 @@ Layout::
         experiments/<key>.json    # ExperimentResult rows (human-inspectable)
         reports/<key>.pkl         # SequenceReport objects
         workloads/<key>.pkl       # captured WorkloadModel frame geometry
+        tenants/<tenant>/         # per-tenant private namespaces (service)
+            reports/<key>.pkl
+            ...
 
 Keys mix a canonical JSON encoding of the parameter dict with a digest of
 the ``repro`` package's own source, so editing any module under
 ``src/repro/`` transparently invalidates every stale entry.
+
+Multi-tenant isolation: a cache opened with a ``tenant`` (or derived via
+:meth:`ResultCache.for_tenant`) reads and writes only that tenant's
+subtree, so two tenants of the simulation service never observe each
+other's rows unless both opt into the shared (tenant-less) namespaces.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ import hashlib
 import json
 import os
 import pickle
+import re
 from pathlib import Path
 from typing import Any
 
@@ -37,6 +46,12 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 
 #: Namespaces with JSON payloads; everything else is pickled.
 _JSON_NAMESPACES = frozenset({"experiments", "sweeps"})
+
+#: Directory under the cache root holding per-tenant namespace subtrees.
+TENANT_ROOT = "tenants"
+
+#: Filesystem-safe tenant identifiers (also keeps ``..``/``/`` out of paths).
+_TENANT_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 _code_version_cache: str | None = None
 
@@ -105,21 +120,41 @@ class ResultCache:
     root:
         Cache directory; defaults to ``$REPRO_CACHE_DIR`` or
         ``.repro_cache`` in the working directory.
+    tenant:
+        When given, every namespace resolves under
+        ``tenants/<tenant>/`` instead of the shared root, so rows written
+        by one tenant are invisible to every other tenant (and to the
+        shared namespaces).  ``None`` is the shared, pre-existing layout.
     """
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    def __init__(self, root: str | Path | None = None, tenant: str | None = None) -> None:
         if root is None:
             root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        if tenant is not None and not _TENANT_NAME.match(tenant):
+            raise ValueError(
+                f"invalid tenant name {tenant!r}: must match {_TENANT_NAME.pattern}"
+            )
         self.root = Path(root)
+        self.tenant = tenant
         self.hits = 0
         self.misses = 0
+
+    def for_tenant(self, tenant: str | None) -> "ResultCache":
+        """A view of the same store scoped to ``tenant``'s private namespaces.
+
+        ``None`` returns a view of the shared namespaces — the opt-in
+        "shared namespace" tenants can choose instead of isolation.
+        Hit/miss counters are per-view.
+        """
+        return ResultCache(self.root, tenant=tenant)
 
     # ------------------------------------------------------------------
     # Core get/put
     # ------------------------------------------------------------------
     def _path(self, namespace: str, key: str) -> Path:
         suffix = ".json" if namespace in _JSON_NAMESPACES else ".pkl"
-        return self.root / namespace / f"{key}{suffix}"
+        base = self.root if self.tenant is None else self.root / TENANT_ROOT / self.tenant
+        return base / namespace / f"{key}{suffix}"
 
     def get(self, namespace: str, payload: dict[str, Any]) -> Any | None:
         """Look up an artifact; returns ``None`` on a miss or corrupt entry."""
@@ -165,21 +200,51 @@ class ResultCache:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+    def _namespace_dirs(self) -> list[tuple[str, Path]]:
+        """``(label, path)`` for every namespace directory in the store.
+
+        Shared namespaces are labelled by their bare name (``reports``);
+        tenant namespaces by their subtree path (``tenants/<t>/reports``).
+        Labels match what :meth:`info` reports and what
+        :meth:`clear`'s ``namespace`` filter selects on.  Directories that
+        vanish mid-scan (concurrent ``clear``) are silently skipped.
+        """
+        found: list[tuple[str, Path]] = []
+        try:
+            top = sorted(p for p in self.root.iterdir() if p.is_dir())
+        except OSError:
+            return found  # root never created, not a directory, or deleted mid-scan
+        for ns_dir in top:
+            if ns_dir.name != TENANT_ROOT:
+                found.append((ns_dir.name, ns_dir))
+                continue
+            try:
+                tenant_dirs = sorted(p for p in ns_dir.iterdir() if p.is_dir())
+            except OSError:
+                continue
+            for tenant_dir in tenant_dirs:
+                try:
+                    sub = sorted(p for p in tenant_dir.iterdir() if p.is_dir())
+                except OSError:
+                    continue
+                found.extend(
+                    (f"{TENANT_ROOT}/{tenant_dir.name}/{p.name}", p) for p in sub
+                )
+        return found
+
     def info(self) -> dict[str, Any]:
         """Summary of the cache contents for ``repro cache info``.
 
+        Reports entry counts and byte sizes per namespace, with tenant
+        namespaces listed individually as ``tenants/<tenant>/<namespace>``.
         A root that was never created (or vanishes mid-scan under a
         concurrent ``clear``) reports an empty cache rather than raising.
         """
         namespaces: dict[str, dict[str, int]] = {}
         total_entries = 0
         total_bytes = 0
-        try:
-            ns_dirs = sorted(p for p in self.root.iterdir() if p.is_dir())
-        except OSError:
-            ns_dirs = []  # root never created, not a directory, or deleted mid-scan
-        for ns_dir in ns_dirs:
-            entries = []
+        for label, ns_dir in self._namespace_dirs():
+            entries = 0
             size = 0
             try:
                 listing = list(ns_dir.iterdir())
@@ -192,9 +257,9 @@ class ResultCache:
                     size += entry.stat().st_size
                 except OSError:
                     continue  # deleted between listing and stat
-                entries.append(entry)
-            namespaces[ns_dir.name] = {"entries": len(entries), "bytes": size}
-            total_entries += len(entries)
+                entries += 1
+            namespaces[label] = {"entries": entries, "bytes": size}
+            total_entries += entries
             total_bytes += size
         return {
             "root": str(self.root),
@@ -204,8 +269,13 @@ class ResultCache:
             "total_bytes": total_bytes,
         }
 
-    def clear(self) -> int:
-        """Delete every cached entry; returns the number removed.
+    def clear(self, namespace: str | None = None) -> int:
+        """Delete cached entries; returns the number removed.
+
+        ``namespace`` limits the sweep to one subtree, using the labels
+        :meth:`info` reports: a shared namespace (``reports``), one tenant's
+        namespace (``tenants/acme/reports``), or a whole tenant
+        (``tenants/acme``).  ``None`` clears everything.
 
         Deliberately surgical: only ``*.json``/``*.pkl`` entries inside the
         cache's namespace subdirectories are deleted, and directories are
@@ -214,11 +284,11 @@ class ResultCache:
         destroy that content.
         """
         removed = 0
-        if not self.root.exists():
-            return removed
-        for ns_dir in self.root.iterdir():
-            if not ns_dir.is_dir():
-                continue
+        selected = []
+        for label, ns_dir in self._namespace_dirs():
+            if namespace is None or label == namespace or label.startswith(namespace + "/"):
+                selected.append(ns_dir)
+        for ns_dir in selected:
             for entry in ns_dir.iterdir():
                 if entry.is_file() and entry.suffix in {".json", ".pkl"}:
                     entry.unlink()
@@ -227,6 +297,18 @@ class ResultCache:
                 ns_dir.rmdir()
             except OSError:
                 pass  # non-cache content present; leave it alone
+        # Prune now-empty structural directories (tenants/<t>, tenants/, root).
+        tenant_root = self.root / TENANT_ROOT
+        if tenant_root.is_dir():
+            for tenant_dir in list(tenant_root.iterdir()):
+                try:
+                    tenant_dir.rmdir()
+                except OSError:
+                    pass
+            try:
+                tenant_root.rmdir()
+            except OSError:
+                pass
         try:
             self.root.rmdir()
         except OSError:

@@ -1,0 +1,36 @@
+"""Long-running multi-tenant simulation service.
+
+``repro serve`` turns the experiment engine into a server: concurrent
+clients submit :class:`~repro.experiments.engine.SimJob` cells over a
+newline-delimited JSON protocol; identical in-flight cells coalesce into
+one execution, a bounded queue applies explicit backpressure, a persistent
+worker pool keeps scenes warm, and results land in per-tenant
+:class:`~repro.runtime.cache.ResultCache` namespaces.  ``repro loadgen``
+replays seeded mixed traffic against it and writes the schema'd
+``BENCH_service.json`` artifact the service-smoke CI job gates on.
+"""
+
+from .loadgen import (
+    SERVICE_BENCH_SCHEMA,
+    LoadGenConfig,
+    LoadGenResult,
+    build_traffic,
+    run_loadgen,
+    summarize,
+    write_service_bench,
+)
+from .server import ServiceConfig, ServiceMetrics, SimulationServer, serve
+
+__all__ = [
+    "SERVICE_BENCH_SCHEMA",
+    "LoadGenConfig",
+    "LoadGenResult",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "SimulationServer",
+    "build_traffic",
+    "run_loadgen",
+    "serve",
+    "summarize",
+    "write_service_bench",
+]

@@ -1,0 +1,380 @@
+"""Seeded open-loop load generator + service bench artifact writer.
+
+``repro loadgen`` replays mixed multi-tenant traffic against a running
+``repro serve`` instance: a seeded RNG draws a pool of distinct simulation
+cells from a scenes × systems × resolutions grid, weights them Zipf-style
+(popular cells repeat — that's what coalescing and caching feed on), and
+fires requests on an open-loop Poisson arrival process (arrivals keep
+coming at the configured rate regardless of completions, so overload shows
+up as queue-full rejections and latency, not as a slower generator).
+
+Each tenant gets its own connection and namespace; rejected requests are
+retried with linear backoff up to ``retries`` times (retry accounting ends
+up in both the client artifact and the server metrics).  The run writes a
+schema'd ``BENCH_service.json`` with throughput, p50/p95/p99 latency,
+coalesce rate, warm-scene hit rate, and rejection counts, and can verify
+every response byte-identical against a direct
+:func:`~repro.experiments.engine.execute_cells` run (``--verify`` — the
+service-smoke CI gate).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from itertools import product
+from typing import Any
+
+import numpy as np
+
+from ..experiments.engine import SimJob, execute_cells
+from . import protocol
+
+#: Artifact schema identifier; bump when the JSON layout changes.
+SERVICE_BENCH_SCHEMA = "repro-service-bench/1"
+
+
+@dataclass
+class LoadGenConfig:
+    """One replay's traffic shape (fully determined by ``seed``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 7341
+    requests: int = 120
+    #: Open-loop arrival rate in requests/second.
+    rate: float = 150.0
+    tenants: int = 4
+    seed: int = 0
+    frames: int = 2
+    scenes: tuple[str, ...] = ("family", "horse")
+    systems: tuple[str, ...] = ("neo", "gscore", "orin")
+    resolutions: tuple[str, ...] = ("hd",)
+    #: Distinct cells drawn from the grid; requests sample these Zipf-style.
+    pool_size: int = 10
+    timeout_s: float = 120.0
+    #: Rejection retries per request (linear backoff).
+    retries: int = 3
+    retry_backoff_s: float = 0.05
+    #: Opt every tenant into the shared cache namespace instead of isolation.
+    shared_cache: bool = False
+    #: Seconds to keep retrying the initial connect (0 = one attempt).
+    wait_server_s: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class _RequestOutcome:
+    cell: int
+    tenant: str
+    status: str
+    latency_s: float
+    attempts: int
+    origin: str | None = None
+
+
+def build_traffic(config: LoadGenConfig) -> tuple[list[SimJob], np.ndarray, np.ndarray, np.ndarray]:
+    """(cell pool, per-request cell index, tenant index, arrival offsets).
+
+    Deterministic for a given config: the pool is a seeded permutation of
+    the scenes × systems × resolutions grid, request cells follow a
+    Zipf-ish ``1/(rank+1)`` weighting, tenants are uniform, and arrival
+    offsets are cumulative exponential gaps at ``rate``.
+    """
+    rng = np.random.default_rng(config.seed)
+    grid = [
+        SimJob.make(system, scene, resolution, frames=config.frames)
+        for scene, system, resolution in product(
+            config.scenes, config.systems, config.resolutions
+        )
+    ]
+    order = rng.permutation(len(grid))
+    pool = [grid[i] for i in order[: max(1, min(config.pool_size, len(grid)))]]
+    weights = 1.0 / (np.arange(len(pool)) + 1.0)
+    weights /= weights.sum()
+    cells = rng.choice(len(pool), size=config.requests, p=weights)
+    tenants = rng.integers(0, max(1, config.tenants), size=config.requests)
+    arrivals = np.cumsum(rng.exponential(1.0 / config.rate, size=config.requests))
+    return pool, cells, tenants, arrivals
+
+
+class _Client:
+    """One tenant's connection: pipelined requests, responses matched by id."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._reader_task: asyncio.Task | None = None
+
+    async def connect(self, wait_s: float = 0.0) -> None:
+        deadline = time.perf_counter() + wait_s
+        while True:
+            try:
+                self.reader, self.writer = await asyncio.open_connection(
+                    self.host, self.port, limit=protocol.MAX_MESSAGE_BYTES
+                )
+                break
+            except OSError:
+                if time.perf_counter() >= deadline:
+                    raise
+                await asyncio.sleep(0.1)
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                message = await protocol.read_message(self.reader)
+                if message is None:
+                    break
+                future = self._pending.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except (ValueError, ConnectionError, OSError) as exc:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(ConnectionError(str(exc)))
+            self._pending.clear()
+
+    async def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        self._next_id += 1
+        message = {**message, "id": self._next_id}
+        future = asyncio.get_running_loop().create_future()
+        self._pending[self._next_id] = future
+        self.writer.write(protocol.encode_message(message))
+        await self.writer.drain()
+        return await future
+
+    async def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            await asyncio.gather(self._reader_task, return_exceptions=True)
+
+
+@dataclass
+class LoadGenResult:
+    """Everything one replay measured, plus the server's own accounting."""
+
+    config: LoadGenConfig
+    outcomes: list[_RequestOutcome]
+    duration_s: float
+    server_stats: dict[str, Any]
+    #: cell index -> report payload recorded from the first ok response.
+    reports: dict[int, dict] = field(default_factory=dict)
+    verification: dict[str, Any] | None = None
+
+    def artifact(self) -> dict[str, Any]:
+        """The schema'd ``BENCH_service.json`` payload."""
+        by_status: dict[str, int] = {}
+        for outcome in self.outcomes:
+            by_status[outcome.status] = by_status.get(outcome.status, 0) + 1
+        ok_latencies = np.array(
+            [o.latency_s for o in self.outcomes if o.status == "ok"]
+        )
+        latency_ms = {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+        if ok_latencies.size:
+            latency_ms = {
+                "p50": float(np.percentile(ok_latencies, 50) * 1e3),
+                "p95": float(np.percentile(ok_latencies, 95) * 1e3),
+                "p99": float(np.percentile(ok_latencies, 99) * 1e3),
+                "mean": float(ok_latencies.mean() * 1e3),
+                "max": float(ok_latencies.max() * 1e3),
+            }
+        metrics = self.server_stats.get("metrics", {})
+        return {
+            "schema": SERVICE_BENCH_SCHEMA,
+            "created_unix": time.time(),
+            "config": self.config.as_dict(),
+            "traffic": {
+                "requests": len(self.outcomes),
+                "unique_cells": len({o.cell for o in self.outcomes}),
+                "tenants": self.config.tenants,
+                "offered_rate_rps": self.config.rate,
+            },
+            "results": {
+                "ok": by_status.get("ok", 0),
+                "rejected": by_status.get("rejected", 0),
+                "timeout": by_status.get("timeout", 0),
+                "error": by_status.get("error", 0),
+                "client_retries": sum(max(0, o.attempts - 1) for o in self.outcomes),
+            },
+            "duration_s": self.duration_s,
+            "throughput_rps": (
+                by_status.get("ok", 0) / self.duration_s if self.duration_s else 0.0
+            ),
+            "latency_ms": latency_ms,
+            "server": {
+                **metrics,
+                "queue_depth_at_end": self.server_stats.get("queue_depth", 0),
+            },
+            "verification": self.verification,
+        }
+
+    @property
+    def ok(self) -> bool:
+        """No protocol/simulation errors and, if run, verification held."""
+        if any(o.status == "error" for o in self.outcomes):
+            return False
+        if self.verification is not None and self.verification["mismatches"]:
+            return False
+        return True
+
+
+async def run_loadgen(config: LoadGenConfig, verify: bool = False) -> LoadGenResult:
+    """Replay the configured traffic; optionally verify byte-identity."""
+    pool, cells, tenants, arrivals = build_traffic(config)
+    clients = [
+        _Client(config.host, config.port) for _ in range(max(1, config.tenants))
+    ]
+    for i, client in enumerate(clients):
+        await client.connect(wait_s=config.wait_server_s if i == 0 else 0.0)
+
+    outcomes: list[_RequestOutcome | None] = [None] * config.requests
+    reports: dict[int, dict] = {}
+    start = time.perf_counter()
+
+    async def fire(index: int) -> None:
+        delay = arrivals[index] - (time.perf_counter() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tenant_idx = int(tenants[index])
+        cell_idx = int(cells[index])
+        client = clients[tenant_idx]
+        request = {
+            "op": "simulate",
+            "tenant": f"tenant-{tenant_idx}",
+            "job": pool[cell_idx].to_payload(),
+            "timeout_s": config.timeout_s,
+            "shared_cache": config.shared_cache,
+        }
+        attempt = 0
+        sent = time.perf_counter()
+        while True:
+            try:
+                response = await client.request({**request, "attempt": attempt})
+            except ConnectionError as exc:
+                response = {"status": "error", "error": str(exc)}
+            if response.get("status") == "rejected" and attempt < config.retries:
+                attempt += 1
+                await asyncio.sleep(config.retry_backoff_s * attempt)
+                continue
+            break
+        latency = time.perf_counter() - sent
+        status = response.get("status", "error")
+        if status == "ok":
+            reports.setdefault(cell_idx, response["report"])
+        outcomes[index] = _RequestOutcome(
+            cell=cell_idx,
+            tenant=f"tenant-{tenant_idx}",
+            status=status,
+            latency_s=latency,
+            attempts=attempt + 1,
+            origin=response.get("origin"),
+        )
+
+    await asyncio.gather(*(fire(i) for i in range(config.requests)))
+    duration = time.perf_counter() - start
+
+    stats = await clients[0].request({"op": "stats"})
+    for client in clients:
+        await client.close()
+
+    result = LoadGenResult(
+        config=config,
+        outcomes=list(outcomes),
+        duration_s=duration,
+        server_stats=stats,
+        reports=reports,
+    )
+    if verify:
+        result.verification = verify_reports(pool, reports)
+    return result
+
+
+def _simulate_cell(job: SimJob):
+    """Module-level evaluate hook for :func:`execute_cells` (picklable)."""
+    return job.simulate()
+
+
+def verify_reports(pool: list[SimJob], reports: dict[int, dict]) -> dict[str, Any]:
+    """Re-run every responded cell directly and byte-compare the payloads.
+
+    The direct side goes through the engine's :func:`execute_cells` with a
+    fresh, cache-less evaluation — the exact path a non-service caller
+    takes — and both sides reduce to canonical JSON bytes, so "identical"
+    here means identical at the byte level, not approximately equal.
+    """
+    indices = sorted(reports)
+    jobs = [pool[i].resolved() for i in indices]
+    batch = execute_cells(jobs, evaluate=_simulate_cell, jobs=1, cache=None)
+    mismatched: list[int] = []
+    for cell_idx, direct in zip(indices, batch.values):
+        served = protocol.canonical_bytes(reports[cell_idx])
+        expected = protocol.canonical_bytes(protocol.report_to_payload(direct))
+        if served != expected:
+            mismatched.append(cell_idx)
+    return {
+        "checked": len(indices),
+        "mismatches": len(mismatched),
+        "mismatched_cells": mismatched,
+        "byte_identical": not mismatched,
+    }
+
+
+def write_service_bench(path: str, result: LoadGenResult) -> str:
+    """Write the ``BENCH_service.json`` artifact and return the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result.artifact(), handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def summarize(result: LoadGenResult) -> str:
+    """Human-readable replay summary for the CLI."""
+    artifact = result.artifact()
+    results = artifact["results"]
+    latency = artifact["latency_ms"]
+    server = artifact["server"]
+    lines = [
+        (
+            f"{artifact['traffic']['requests']} request(s), "
+            f"{artifact['traffic']['unique_cells']} unique cell(s), "
+            f"{artifact['traffic']['tenants']} tenant(s) in "
+            f"{artifact['duration_s']:.2f}s "
+            f"({artifact['throughput_rps']:.1f} ok req/s)"
+        ),
+        (
+            f"status: {results['ok']} ok, {results['rejected']} rejected, "
+            f"{results['timeout']} timeout, {results['error']} error, "
+            f"{results['client_retries']} client retries"
+        ),
+        (
+            f"latency: p50 {latency['p50']:.1f} ms, p95 {latency['p95']:.1f} ms, "
+            f"p99 {latency['p99']:.1f} ms"
+        ),
+        (
+            f"server: {server.get('executions', 0)} execution(s), "
+            f"coalesce rate {server.get('coalesce_rate', 0.0):.0%}, "
+            f"warm-scene rate {server.get('warm_scene_rate', 0.0):.0%}, "
+            f"{server.get('cache_hits', 0)} cache hit(s), "
+            f"{server.get('rejected', 0)} rejected"
+        ),
+    ]
+    if result.verification is not None:
+        verdict = (
+            "byte-identical to direct engine execution"
+            if result.verification["byte_identical"]
+            else f"{result.verification['mismatches']} MISMATCHED cell(s)"
+        )
+        lines.append(
+            f"verification: {result.verification['checked']} cell(s) {verdict}"
+        )
+    return "\n".join(lines)

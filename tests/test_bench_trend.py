@@ -1,0 +1,104 @@
+"""Tests for the CI bench-trend gate (benchmarks/bench_trend.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[1] / "benchmarks" / "bench_trend.py"
+_spec = importlib.util.spec_from_file_location("bench_trend", _SCRIPT)
+bench_trend = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_trend)
+
+
+def artifact(path, speedups):
+    payload = {
+        "schema": "repro-bench/1",
+        "benchmarks": [
+            {"name": name, "speedup": speedup} for name, speedup in speedups.items()
+        ],
+    }
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        lines, ok = bench_trend.compare(
+            {"raster": {"speedup": 2.5}}, {"raster": {"speedup": 2.0}}, 0.25
+        )
+        assert ok
+        assert "ok" in lines[0]
+
+    def test_regression_beyond_threshold_fails(self):
+        lines, ok = bench_trend.compare(
+            {"raster": {"speedup": 2.5}}, {"raster": {"speedup": 1.5}}, 0.25
+        )
+        assert not ok
+        assert "REGRESSED" in lines[0]
+
+    def test_improvement_passes(self):
+        _, ok = bench_trend.compare(
+            {"raster": {"speedup": 2.0}}, {"raster": {"speedup": 3.0}}, 0.25
+        )
+        assert ok
+
+    def test_missing_benchmark_fails(self):
+        lines, ok = bench_trend.compare({"raster": {"speedup": 2.5}}, {}, 0.25)
+        assert not ok
+        assert "MISSING" in lines[0]
+
+    def test_new_benchmark_is_note_only(self):
+        lines, ok = bench_trend.compare(
+            {"raster": {"speedup": 2.5}},
+            {"raster": {"speedup": 2.5}, "sort": {"speedup": 1.4}},
+            0.25,
+        )
+        assert ok
+        assert any("new benchmark" in line for line in lines)
+
+
+class TestMain:
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        base = artifact(tmp_path / "base.json", {"raster": 2.5, "sort": 1.3})
+        fresh = artifact(tmp_path / "fresh.json", {"raster": 2.4, "sort": 1.25})
+        assert bench_trend.main(["--baseline", base, "--fresh", fresh]) == 0
+        out = capsys.readouterr().out
+        assert "bench trend" in out and "raster" in out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        base = artifact(tmp_path / "base.json", {"raster": 2.5})
+        fresh = artifact(tmp_path / "fresh.json", {"raster": 1.0})
+        assert bench_trend.main(["--baseline", base, "--fresh", fresh]) == 1
+        assert "refresh the committed baseline" in capsys.readouterr().err
+
+    def test_threshold_is_configurable(self, tmp_path):
+        base = artifact(tmp_path / "base.json", {"raster": 2.0})
+        fresh = artifact(tmp_path / "fresh.json", {"raster": 1.2})
+        args = ["--baseline", base, "--fresh", fresh]
+        assert bench_trend.main(args) == 1
+        assert bench_trend.main(args + ["--max-regression", "0.5"]) == 0
+
+    def test_missing_fresh_file_exit_two(self, tmp_path, capsys):
+        base = artifact(tmp_path / "base.json", {"raster": 2.5})
+        code = bench_trend.main(
+            ["--baseline", base, "--fresh", str(tmp_path / "nope.json")]
+        )
+        assert code == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_empty_baseline_exit_two(self, tmp_path, capsys):
+        base = artifact(tmp_path / "base.json", {})
+        fresh = artifact(tmp_path / "fresh.json", {"raster": 2.5})
+        assert bench_trend.main(["--baseline", base, "--fresh", fresh]) == 2
+        assert "no benchmarks in baseline" in capsys.readouterr().err
+
+    def test_committed_baseline_compares_clean_against_itself(self):
+        baseline_path = str(_SCRIPT.parent.parent / "BENCH_pipeline.json")
+        if not Path(baseline_path).exists():
+            pytest.skip("no committed baseline in this checkout")
+        code = bench_trend.main(
+            ["--baseline", baseline_path, "--fresh", baseline_path]
+        )
+        assert code == 0

@@ -37,6 +37,29 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 7341 and args.workers == 2 and args.queue_limit == 64
+        assert args.cache_dir == ".repro_cache" and not args.no_cache
+
+    def test_loadgen_args(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--port", "7000", "--requests", "50", "--rate", "99.5",
+             "--tenants", "8", "--verify", "--assert-coalesce",
+             "--out", "BENCH_service.json"]
+        )
+        assert args.command == "loadgen"
+        assert args.port == 7000 and args.requests == 50 and args.rate == 99.5
+        assert args.tenants == 8 and args.verify and args.assert_coalesce
+        assert args.out == "BENCH_service.json"
+
+    def test_cache_clear_namespace(self):
+        args = build_parser().parse_args(
+            ["cache", "clear", "--namespace", "tenants/acme"]
+        )
+        assert args.action == "clear" and args.namespace == "tenants/acme"
+
 
 class TestWritePpm:
     def test_roundtrip_header_and_pixels(self, tmp_path):

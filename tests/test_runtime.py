@@ -209,6 +209,90 @@ class TestResultCache:
         assert info["total_entries"] == 0
 
 
+class TestTenantNamespaces:
+    def test_tenants_never_share_rows(self, tmp_path):
+        store = ResultCache(tmp_path / "cache")
+        payload = {"kind": "report", "system": "neo", "frames": 2}
+        store.for_tenant("acme").put("reports", payload, "acme-row")
+        assert store.for_tenant("acme").get("reports", payload) == "acme-row"
+        assert store.for_tenant("globex").get("reports", payload) is None
+        assert store.get("reports", payload) is None  # shared namespace too
+
+    def test_shared_namespace_is_opt_in(self, tmp_path):
+        store = ResultCache(tmp_path / "cache")
+        payload = {"kind": "report", "system": "neo"}
+        store.for_tenant(None).put("reports", payload, "shared-row")
+        assert store.get("reports", payload) == "shared-row"
+        assert store.for_tenant("acme").get("reports", payload) is None
+
+    def test_invalid_tenant_names_rejected(self, tmp_path):
+        store = ResultCache(tmp_path / "cache")
+        for bad in ("../escape", "a/b", "", ".hidden", "x" * 65):
+            with pytest.raises(ValueError):
+                store.for_tenant(bad)
+
+    def test_info_reports_per_namespace_counts(self, tmp_path):
+        store = ResultCache(tmp_path / "cache")
+        store.put("reports", {"n": 1}, "shared")
+        store.for_tenant("acme").put("reports", {"n": 1}, "a1")
+        store.for_tenant("acme").put("workloads", {"n": 2}, "a2")
+        store.for_tenant("globex").put("reports", {"n": 1}, "g1")
+        info = store.info()
+        assert info["namespaces"]["reports"]["entries"] == 1
+        assert info["namespaces"]["tenants/acme/reports"]["entries"] == 1
+        assert info["namespaces"]["tenants/acme/workloads"]["entries"] == 1
+        assert info["namespaces"]["tenants/globex/reports"]["entries"] == 1
+        assert info["total_entries"] == 4
+        assert all(ns["bytes"] > 0 for ns in info["namespaces"].values())
+
+    def test_clear_namespace_is_surgical(self, tmp_path):
+        store = ResultCache(tmp_path / "cache")
+        store.put("reports", {"n": 1}, "shared")
+        store.for_tenant("acme").put("reports", {"n": 1}, "a1")
+        store.for_tenant("acme").put("workloads", {"n": 2}, "a2")
+        store.for_tenant("globex").put("reports", {"n": 1}, "g1")
+
+        # One tenant namespace.
+        assert store.clear(namespace="tenants/acme/reports") == 1
+        assert store.for_tenant("acme").get("reports", {"n": 1}) is None
+        assert store.for_tenant("acme").get("workloads", {"n": 2}) == "a2"
+
+        # A whole tenant subtree.
+        assert store.clear(namespace="tenants/acme") == 1
+        assert store.for_tenant("acme").get("workloads", {"n": 2}) is None
+        assert store.for_tenant("globex").get("reports", {"n": 1}) == "g1"
+
+        # A shared namespace leaves tenants alone.
+        assert store.clear(namespace="reports") == 1
+        assert store.for_tenant("globex").get("reports", {"n": 1}) == "g1"
+
+        # Everything.
+        assert store.clear() == 1
+        assert store.info()["total_entries"] == 0
+
+    def test_clear_unknown_namespace_removes_nothing(self, tmp_path):
+        store = ResultCache(tmp_path / "cache")
+        store.put("reports", {"n": 1}, "shared")
+        assert store.clear(namespace="nope") == 0
+        assert store.get("reports", {"n": 1}) == "shared"
+
+    def test_cli_clear_namespace(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        store = ResultCache(cache_dir)
+        store.for_tenant("acme").put("reports", {"n": 1}, "a1")
+        store.for_tenant("globex").put("reports", {"n": 1}, "g1")
+        rc = main(["cache", "clear", "--cache-dir", cache_dir,
+                   "--namespace", "tenants/acme"])
+        assert rc == 0
+        assert "tenants/acme" in capsys.readouterr().out
+        assert store.for_tenant("acme").get("reports", {"n": 1}) is None
+        assert store.for_tenant("globex").get("reports", {"n": 1}) == "g1"
+
+        rc = main(["cache", "info", "--cache-dir", cache_dir])
+        assert rc == 0
+        assert "tenants/globex/reports" in capsys.readouterr().out
+
+
 class TestRunnerConfig:
     def test_resolve_frames_default_and_override(self):
         assert resolve_frames(7) == 7
