@@ -39,6 +39,23 @@ def _best_of(fn, repeats: int = 3) -> tuple[float, object]:
     return best, value
 
 
+def _best_of_scaled(fn, repeats: int = 3, inner: int = 20) -> tuple[float, object]:
+    """Per-call minimum timed over ``inner`` back-to-back calls.
+
+    For sub-millisecond paths a single call sits inside timer noise, which
+    makes very large speedup ratios (and the CI trend gate built on them)
+    flake; widening the timed window to ``inner`` calls stabilizes them.
+    """
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            value = fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best, value
+
+
 def _prepared_frames(num_gaussians: int, num_frames: int, width: int, height: int):
     """Render-ready (projected, grid, assignment) tuples for a trajectory."""
     scene = load_scene(BENCH_SCENE, num_gaussians=num_gaussians)
@@ -128,11 +145,11 @@ def bench_sort_batched(quick: bool) -> BenchRecord:
     )
     opt_s, opt_out = _best_of(lambda: [sort_tiles(a) for _, _, a in frames], repeats)
     identical = all(
-        np.array_equal(x.tile_rows[t], y.tile_rows[t])
-        and np.array_equal(x.tile_ids[t], y.tile_ids[t])
-        and np.array_equal(x.tile_depths[t], y.tile_depths[t])
+        np.array_equal(x.stream.offsets, y.stream.offsets)
+        and np.array_equal(x.stream.values, y.stream.values)
+        and np.array_equal(x.ids, y.ids)
+        and np.array_equal(x.depths, y.depths)
         for x, y in zip(opt_out, base_out)
-        for t in range(x.num_tiles)
     )
     return BenchRecord(
         quick=quick,
@@ -150,16 +167,22 @@ def bench_sort_batched(quick: bool) -> BenchRecord:
     "argsort-rank Kendall-tau distance vs the rank-dict + Python merge sort",
 )
 def bench_order_metrics(quick: bool) -> BenchRecord:
-    n = 1500 if quick else 6000
+    # Same size in both modes: the argsort path's speedup grows with the
+    # table length, so a smaller quick workload would sit far from the
+    # committed full-mode baseline and trip the CI trend gate; the scalar
+    # merge sort only takes ~40 ms at this size.
+    n = 6000
     rng = np.random.default_rng(20260730)
     ids = rng.choice(10**7, size=n, replace=False)
     order_a = rng.permutation(ids)
     order_b = rng.permutation(ids)
 
     base_s, base_val = _best_of(
-        lambda: pipeline_ref.kendall_tau_distance(order_a, order_b), 3
+        lambda: pipeline_ref.kendall_tau_distance(order_a, order_b), 5
     )
-    opt_s, opt_val = _best_of(lambda: kendall_tau_distance(order_a, order_b), 3)
+    opt_s, opt_val = _best_of_scaled(
+        lambda: kendall_tau_distance(order_a, order_b), 5, 10
+    )
     return BenchRecord(
         quick=quick,
         baseline_ms=base_s * 1e3,
@@ -249,4 +272,219 @@ def bench_hw_system(quick: bool) -> BenchRecord:
         floor=1.3,
         identical=reports_identical(opt_report, base_report),
         detail={"system": "neo", "frames": num_frames},
+    )
+
+
+@register_bench(
+    "order_differences",
+    "segmented intersect + ECDF order differences vs the per-tile interp loop",
+)
+def bench_order_differences(quick: bool) -> BenchRecord:
+    from ..hw import reference as hw_ref
+    from ..hw.workload import WorkloadModel
+
+    num_frames, tile_size = (3, 64) if quick else (6, 64)
+    wm = WorkloadModel.from_scene(BENCH_SCENE, num_frames=num_frames)
+    resolution = "qhd"
+    width, height = wm._resolve(resolution)
+    frames = range(1, num_frames)
+    # Prebuild both sides' inputs so the timing covers the query alone — the
+    # historical ``_pair_cache`` amortized pair building the same way the
+    # stream cache does now.
+    pair_cache = {
+        f: hw_ref._scalar_frame_pairs(wm, f, width, height, tile_size)
+        for f in range(num_frames)
+    }
+    for f in range(num_frames):
+        wm.frame_stream(f, resolution, tile_size)
+
+    base_s, base_out = _best_of(
+        lambda: [
+            hw_ref.scalar_order_differences_pairs(
+                pair_cache[f - 1],
+                pair_cache[f],
+                wm.frames[f - 1],
+                wm.frames[f],
+                wm.count_scale,
+            )
+            for f in frames
+        ],
+        3,
+    )
+    opt_s, opt_out = _best_of(
+        lambda: [wm.order_differences(f, resolution, tile_size) for f in frames], 3
+    )
+    identical = all(np.array_equal(a, b) for a, b in zip(opt_out, base_out))
+    return BenchRecord(
+        quick=quick,
+        baseline_ms=base_s * 1e3,
+        optimized_ms=opt_s * 1e3,
+        speedup=base_s / opt_s if opt_s else float("inf"),
+        floor=2.0,
+        identical=identical,
+        detail={"resolution": resolution, "tile": tile_size, "frames": num_frames},
+    )
+
+
+@register_bench(
+    "similarity",
+    "segmented frame similarity vs the frozen per-tile intersect loop",
+)
+def bench_similarity(quick: bool) -> BenchRecord:
+    from ..metrics import reference as metrics_ref
+    from ..metrics.similarity import frame_similarity
+
+    gaussians, frames_n, w, h = (2000, 2, 320, 180) if quick else (6000, 4, 480, 270)
+    _, _, frames = _prepared_frames(gaussians, frames_n, w, h)
+    sorted_frames = [sort_tiles(a) for _, _, a in frames]
+    frame_pairs = list(zip(sorted_frames, sorted_frames[1:]))
+
+    base_s, base_out = _best_of(
+        lambda: [metrics_ref.frame_similarity(p, c) for p, c in frame_pairs], 3
+    )
+    opt_s, opt_out = _best_of(
+        lambda: [frame_similarity(p, c) for p, c in frame_pairs], 3
+    )
+    identical = all(
+        np.array_equal(a.shared_fractions, b.shared_fractions)
+        and np.array_equal(a.order_differences, b.order_differences)
+        for a, b in zip(opt_out, base_out)
+    )
+    return BenchRecord(
+        quick=quick,
+        baseline_ms=base_s * 1e3,
+        optimized_ms=opt_s * 1e3,
+        speedup=base_s / opt_s if opt_s else float("inf"),
+        floor=1.3,
+        identical=identical,
+        detail={"gaussians": gaussians, "frames": frames_n, "resolution": [w, h]},
+    )
+
+
+@register_bench(
+    "raster_engine",
+    "array ITU/SCU pipeline recurrence vs the per-tile timeline loop",
+)
+def bench_raster_engine(quick: bool) -> BenchRecord:
+    from ..hw import reference as hw_ref
+    from ..hw.raster_engine import RasterEngineSim
+
+    # Same size in both modes: the speedup is scale-dependent (the
+    # vectorized path is near-constant time), so a smaller quick workload
+    # would sit far from the committed full-mode baseline and trip the CI
+    # trend gate; even the scalar loop only takes ~200 ms at this size.
+    tiles = 8000
+    rng = np.random.default_rng(20260807)
+    gaussians = rng.integers(0, 1200, tiles)
+    gaussians[rng.random(tiles) < 0.2] = 0
+    hits = rng.integers(0, 20000, tiles)
+    gl, hl = gaussians.tolist(), hits.tolist()
+    sim = RasterEngineSim()
+
+    base_s, base_out = _best_of(
+        lambda: hw_ref.scalar_raster_engine_frame(sim, gl, hl), 3
+    )
+    opt_s, opt_out = _best_of_scaled(lambda: sim.simulate_frame(gl, hl), 3, 20)
+    identical = (
+        opt_out.total_cycles == base_out.total_cycles
+        and opt_out.tiles == base_out.tiles
+        and opt_out.scu_cycles == base_out.scu_cycles
+        and opt_out.itu_cycles == base_out.itu_cycles
+        and np.array_equal(opt_out.tile_total_cycles, base_out.tile_total_cycles)
+        and np.array_equal(opt_out.tile_scu_stall_cycles, base_out.tile_scu_stall_cycles)
+        and np.array_equal(opt_out.tile_itu_idle_cycles, base_out.tile_itu_idle_cycles)
+        and opt_out.mean_pipeline_efficiency == base_out.mean_pipeline_efficiency
+    )
+    return BenchRecord(
+        quick=quick,
+        baseline_ms=base_s * 1e3,
+        optimized_ms=opt_s * 1e3,
+        speedup=base_s / opt_s if opt_s else float("inf"),
+        floor=1.5,
+        identical=identical,
+        detail={"tiles": tiles},
+    )
+
+
+@register_bench(
+    "sorting_engine",
+    "batched chunk/transfer tables + int event loop vs the per-job loop",
+)
+def bench_sorting_engine(quick: bool) -> BenchRecord:
+    from ..hw import reference as hw_ref
+    from ..hw.sorting_engine import SortingEngineSim
+
+    tiles = 1500 if quick else 6000
+    rng = np.random.default_rng(20260807)
+    occ = rng.integers(0, 1500, tiles)
+    occ[rng.random(tiles) < 0.2] = 0
+    sim = SortingEngineSim()
+
+    base_s, base_out = _best_of(
+        lambda: hw_ref.scalar_sorting_engine_simulate(
+            sim, hw_ref.scalar_jobs_from_occupancy(occ, sim.config.chunk_size)
+        ),
+        3,
+    )
+    opt_s, opt_out = _best_of(lambda: sim.simulate_frame(occ), 3)
+    identical = (
+        opt_out.total_cycles == base_out.total_cycles
+        and opt_out.compute_cycles == base_out.compute_cycles
+        and opt_out.dram_busy_cycles == base_out.dram_busy_cycles
+        and opt_out.chunks == base_out.chunks
+        and opt_out.entries == base_out.entries
+        and all(
+            a.busy_cycles == b.busy_cycles
+            and a.chunks == b.chunks
+            and a.finish_cycle == b.finish_cycle
+            for a, b in zip(opt_out.cores, base_out.cores)
+        )
+    )
+    return BenchRecord(
+        quick=quick,
+        baseline_ms=base_s * 1e3,
+        optimized_ms=opt_s * 1e3,
+        speedup=base_s / opt_s if opt_s else float("inf"),
+        floor=1.1,
+        identical=identical,
+        detail={"tiles": tiles},
+    )
+
+
+@register_bench(
+    "raster_sparse",
+    "flat bbox-gather blending vs the scalar loop on sparse 64 px tiles",
+)
+def bench_raster_sparse(quick: bool) -> BenchRecord:
+    gaussians, frames_n, w, h, repeats = (
+        (2000, 1, 320, 180, 2) if quick else (6000, 2, 480, 270, 3)
+    )
+    # 64 px tiles with small splats: mean bbox coverage sits far below
+    # CHUNKED_MIN_COVERAGE, so rasterize takes the sparse gather path.
+    scene = load_scene(BENCH_SCENE, num_gaussians=gaussians)
+    cameras = default_trajectory(
+        BENCH_SCENE, num_frames=frames_n, width=w, height=h
+    )
+    frames = []
+    for camera in cameras:
+        culled = frustum_cull(scene, camera)
+        projected = project_gaussians(scene, camera, culled.visible_ids)
+        grid = TileGrid.for_camera(camera, 64)
+        frames.append((projected, grid, sort_tiles(assign_to_tiles(projected, grid))))
+
+    base_s, base_out = _best_of(
+        lambda: [pipeline_ref.rasterize(st, p, g) for p, g, st in frames], repeats
+    )
+    opt_s, opt_out = _best_of(
+        lambda: [rasterize(st, p, g) for p, g, st in frames], repeats
+    )
+    identical = all(_raster_results_equal(a, b) for a, b in zip(opt_out, base_out))
+    return BenchRecord(
+        quick=quick,
+        baseline_ms=base_s * 1e3,
+        optimized_ms=opt_s * 1e3,
+        speedup=base_s / opt_s if opt_s else float("inf"),
+        floor=1.15,
+        identical=identical,
+        detail={"gaussians": gaussians, "frames": frames_n, "tile": 64},
     )

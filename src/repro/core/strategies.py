@@ -47,8 +47,8 @@ NeoSortStrategy = ReuseUpdateSorter
 def _full_sort_traffic(assignment: TileAssignment, chunk_size: int) -> SortTraffic:
     """Traffic of a conventional global sort of every tile's list."""
     traffic = SortTraffic()
-    for rows in assignment.tile_rows:
-        n = rows.shape[0]
+    for n in assignment.occupancy():
+        n = int(n)
         if n == 0:
             continue
         stats = PartialSortStats()
@@ -102,21 +102,19 @@ class PeriodicSortStrategy:
         self.period = period
         self.chunk_size = chunk_size
         self.frame_traffic: list[SortTraffic] = []
-        self._cached_ids: list[np.ndarray] | None = None
-        self._cached_depths: list[np.ndarray] | None = None
+        self._cached: SortedTiles | None = None
 
     def sort_frame(self, assignment: TileAssignment, frame_index: int) -> SortedTiles:
-        refresh = frame_index % self.period == 0 or self._cached_ids is None
+        refresh = frame_index % self.period == 0 or self._cached is None
         if refresh:
             self.frame_traffic.append(_full_sort_traffic(assignment, self.chunk_size))
             exact = sort_tiles(assignment)
-            self._cached_ids = exact.tile_ids
-            self._cached_depths = exact.tile_depths
+            self._cached = exact
             return exact
 
         # Skip frame: replay the cached order against the current projection.
         self.frame_traffic.append(SortTraffic())
-        return _replay_cached_order(assignment, self._cached_ids, self._cached_depths)
+        return _replay_cached_order(assignment, self._cached)
 
     def observe_raster(
         self, frame_index: int, sorted_tiles: SortedTiles, raster: RasterResult
@@ -149,21 +147,20 @@ class BackgroundSortStrategy:
         self.lag = lag
         self.chunk_size = chunk_size
         self.frame_traffic: list[SortTraffic] = []
-        self._pending: deque[tuple[list[np.ndarray], list[np.ndarray]]] = deque()
+        self._pending: deque[SortedTiles] = deque()
 
     def sort_frame(self, assignment: TileAssignment, frame_index: int) -> SortedTiles:
         # Launch this frame's background sort (traffic charged now, results
         # usable `lag` frames later).
         self.frame_traffic.append(_full_sort_traffic(assignment, self.chunk_size))
-        exact = sort_tiles(assignment)
-        self._pending.append((exact.tile_ids, exact.tile_depths))
+        self._pending.append(sort_tiles(assignment))
 
         if len(self._pending) > self.lag:
-            ids, depths = self._pending.popleft()
+            stale = self._pending.popleft()
         else:
             # Warm-up: nothing completed yet, use the oldest available.
-            ids, depths = self._pending[0]
-        return _replay_cached_order(assignment, ids, depths)
+            stale = self._pending[0]
+        return _replay_cached_order(assignment, stale)
 
     def observe_raster(
         self, frame_index: int, sorted_tiles: SortedTiles, raster: RasterResult
@@ -203,7 +200,8 @@ class HierarchicalSortStrategy:
         tile_rows: list[np.ndarray] = []
         tile_ids: list[np.ndarray] = []
         tile_depths: list[np.ndarray] = []
-        for rows in assignment.tile_rows:
+        for tile in range(assignment.num_tiles):
+            rows = assignment.rows_for(tile)
             depths = proj.depths[rows]
             ids = proj.ids[rows]
             n = rows.shape[0]
@@ -219,7 +217,7 @@ class HierarchicalSortStrategy:
             tile_ids.append(ids[order])
             tile_depths.append(depths[order])
         self.frame_traffic.append(traffic)
-        return SortedTiles(tile_rows=tile_rows, tile_ids=tile_ids, tile_depths=tile_depths)
+        return SortedTiles.from_tile_lists(tile_rows, tile_ids, tile_depths)
 
     def observe_raster(
         self, frame_index: int, sorted_tiles: SortedTiles, raster: RasterResult
@@ -250,11 +248,7 @@ def _hierarchical_order(depths: np.ndarray, ids: np.ndarray, num_buckets: int) -
     return np.lexsort((ids, depths, buckets))
 
 
-def _replay_cached_order(
-    assignment: TileAssignment,
-    cached_ids: list[np.ndarray],
-    cached_depths: list[np.ndarray],
-) -> SortedTiles:
+def _replay_cached_order(assignment: TileAssignment, cached: SortedTiles) -> SortedTiles:
     """Render the current frame using a stale per-tile ordering.
 
     Stale IDs missing from the current projection are dropped (they cannot
@@ -266,10 +260,10 @@ def _replay_cached_order(
     tile_rows: list[np.ndarray] = []
     tile_ids: list[np.ndarray] = []
     tile_depths: list[np.ndarray] = []
-    for tile in range(len(assignment.tile_rows)):
-        if tile < len(cached_ids):
-            ids = cached_ids[tile]
-            depths = cached_depths[tile]
+    for tile in range(assignment.num_tiles):
+        if tile < cached.num_tiles:
+            ids = cached.ids_for(tile)
+            depths = cached.depths_for(tile)
         else:
             ids = np.empty(0, dtype=np.int64)
             depths = np.empty(0, dtype=np.float64)
@@ -284,7 +278,7 @@ def _replay_cached_order(
         tile_rows.append(np.asarray(rows, dtype=np.int64))
         tile_ids.append(ids[keep_idx] if keep_idx.size else np.empty(0, dtype=np.int64))
         tile_depths.append(depths[keep_idx] if keep_idx.size else np.empty(0, dtype=np.float64))
-    return SortedTiles(tile_rows=tile_rows, tile_ids=tile_ids, tile_depths=tile_depths)
+    return SortedTiles.from_tile_lists(tile_rows, tile_ids, tile_depths)
 
 
 def make_strategy(name: str, **kwargs) -> object:

@@ -60,10 +60,11 @@ def jump_trajectory(
 
 def mean_order_quality(record) -> float:
     """Mean adjacent-pair depth-sortedness across nonempty tiles."""
+    sorted_tiles = record.sorted_tiles
     scores = [
         order_quality(depths)
-        for depths in record.sorted_tiles.tile_depths
-        if depths.shape[0] > 1
+        for tile in range(sorted_tiles.num_tiles)
+        if (depths := sorted_tiles.depths_for(tile)).shape[0] > 1
     ]
     return float(np.mean(scores)) if scores else 1.0
 

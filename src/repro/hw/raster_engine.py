@@ -18,6 +18,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from ..pipeline.tiling import _warn_deprecated
 from .config import NeoConfig
 
 #: ITU cycles to test one Gaussian against one subtile group (bounding-box
@@ -116,22 +119,85 @@ def groups_for_tile(
     ]
 
 
+def _empty_f64() -> np.ndarray:
+    return np.empty(0, dtype=np.float64)
+
+
 @dataclass
 class RasterEngineReport:
-    """Frame-level aggregate over all tiles and cores."""
+    """Frame-level aggregate over all tiles and cores.
+
+    Per-tile cycle accounting is stored as flat arrays over the frame's
+    *active* (nonempty) tiles, in tile order — the tile-stream layout used
+    across the pipeline.  The historical ``timelines`` list of
+    :class:`TileTimeline` objects is available as a deprecated property.
+    """
 
     total_cycles: float = 0.0
     tiles: int = 0
     scu_cycles: float = 0.0
     itu_cycles: float = 0.0
-    timelines: list[TileTimeline] = field(default_factory=list)
+    tile_total_cycles: np.ndarray = field(default_factory=_empty_f64)
+    tile_itu_cycles: np.ndarray = field(default_factory=_empty_f64)
+    tile_scu_cycles: np.ndarray = field(default_factory=_empty_f64)
+    tile_itu_idle_cycles: np.ndarray = field(default_factory=_empty_f64)
+    tile_scu_stall_cycles: np.ndarray = field(default_factory=_empty_f64)
+
+    @classmethod
+    def from_timelines(
+        cls,
+        timelines: list[TileTimeline],
+        total_cycles: float,
+        tiles: int,
+        scu_cycles: float,
+        itu_cycles: float,
+    ) -> "RasterEngineReport":
+        """Package per-tile timelines into a report (reference/compat path)."""
+        return cls(
+            total_cycles=total_cycles,
+            tiles=tiles,
+            scu_cycles=scu_cycles,
+            itu_cycles=itu_cycles,
+            tile_total_cycles=np.array([t.total_cycles for t in timelines]),
+            tile_itu_cycles=np.array([t.itu_cycles for t in timelines]),
+            tile_scu_cycles=np.array([t.scu_cycles for t in timelines]),
+            tile_itu_idle_cycles=np.array([t.itu_idle_cycles for t in timelines]),
+            tile_scu_stall_cycles=np.array([t.scu_stall_cycles for t in timelines]),
+        )
+
+    @property
+    def timelines(self) -> list[TileTimeline]:
+        """Deprecated per-tile timeline objects; use the flat arrays."""
+        _warn_deprecated(
+            "RasterEngineReport.timelines", "RasterEngineReport.tile_total_cycles"
+        )
+        return [
+            TileTimeline(
+                total_cycles=float(self.tile_total_cycles[i]),
+                itu_cycles=float(self.tile_itu_cycles[i]),
+                scu_cycles=float(self.tile_scu_cycles[i]),
+                itu_idle_cycles=float(self.tile_itu_idle_cycles[i]),
+                scu_stall_cycles=float(self.tile_scu_stall_cycles[i]),
+            )
+            for i in range(self.tile_total_cycles.shape[0])
+        ]
 
     @property
     def mean_pipeline_efficiency(self) -> float:
         """Average SCU-busy share across tiles."""
-        if not self.timelines:
+        n = self.tile_total_cycles.shape[0]
+        if n == 0:
             return 0.0
-        return sum(t.pipeline_efficiency for t in self.timelines) / len(self.timelines)
+        # Elementwise share then a strictly sequential sum, replicating the
+        # historical ``sum(t.pipeline_efficiency for t in timelines) / len``.
+        busy = self.tile_total_cycles > 0
+        eff = np.divide(
+            self.tile_scu_cycles,
+            self.tile_total_cycles,
+            out=np.zeros(n, dtype=np.float64),
+            where=busy,
+        )
+        return float(np.add.accumulate(eff)[-1]) / n
 
 
 @dataclass
@@ -149,6 +215,14 @@ class RasterEngineSim:
     ) -> RasterEngineReport:
         """Simulate one frame.
 
+        All tiles advance through the ITU/SCU pipeline recurrence together:
+        the per-tile subtile groups carry identical work (round-robin
+        routing), so the whole frame is ``num_groups`` elementwise steps over
+        flat per-tile arrays instead of a Python timeline per tile.  Sums and
+        the pipeline recurrence replay the scalar arithmetic operation for
+        operation, so the report is bit-identical to the frozen per-tile loop
+        preserved in :func:`repro.hw.reference.scalar_raster_engine_frame`.
+
         Parameters
         ----------
         tile_gaussians:
@@ -158,17 +232,52 @@ class RasterEngineSim:
         """
         if len(tile_gaussians) != len(tile_hits):
             raise ValueError("tile_gaussians and tile_hits must align")
+        cfg = self.config
+        g_all = np.asarray(tile_gaussians, dtype=np.float64)
+        h_all = np.asarray(tile_hits, dtype=np.float64)
+
         report = RasterEngineReport()
-        core_time = [0.0] * self.config.raster_cores
-        for i, (gaussians, hits) in enumerate(zip(tile_gaussians, tile_hits)):
-            if gaussians <= 0:
-                continue
-            timeline = rasterize_tile_timeline(groups_for_tile(gaussians, hits, self.config))
-            core = i % self.config.raster_cores
-            core_time[core] += timeline.total_cycles
-            report.timelines.append(timeline)
-            report.tiles += 1
-            report.scu_cycles += timeline.scu_cycles
-            report.itu_cycles += timeline.itu_cycles
+        active = np.flatnonzero(g_all > 0)
+        if active.shape[0] == 0:
+            return report
+
+        subtiles = (cfg.tile_size // cfg.subtile_size) ** 2
+        num_groups = max(subtiles // cfg.scu_per_core, 1)
+        # Per-group work, identical across a tile's groups (groups_for_tile):
+        # ``int(round(hits / num_groups))`` blended hits, all Gaussians tested.
+        itu_t = g_all[active] * ITU_CYCLES_PER_GAUSSIAN
+        scu_t = np.rint(h_all[active] / num_groups) * SCU_CYCLES_PER_HIT
+
+        n = active.shape[0]
+        itu_sum = np.zeros(n)
+        scu_sum = np.zeros(n)
+        itu_done = np.zeros(n)
+        scu_done = np.zeros(n)
+        stall = np.zeros(n)
+        for _ in range(num_groups):
+            itu_sum = itu_sum + itu_t
+            scu_sum = scu_sum + scu_t
+            itu_done = itu_done + itu_t
+            stall = stall + np.where(
+                scu_done > 0, np.maximum(itu_done - scu_done, 0.0), 0.0
+            )
+            scu_done = np.maximum(itu_done, scu_done) + scu_t
+
+        report.tile_total_cycles = scu_done
+        report.tile_itu_cycles = itu_sum
+        report.tile_scu_cycles = scu_sum
+        report.tile_itu_idle_cycles = np.maximum(scu_done - itu_sum, 0.0)
+        report.tile_scu_stall_cycles = stall
+        report.tiles = n
+        # Sequential accumulation mirrors the scalar ``+=`` tile loop.
+        report.scu_cycles = float(np.add.accumulate(scu_sum)[-1])
+        report.itu_cycles = float(np.add.accumulate(itu_sum)[-1])
+
+        cores = active % cfg.raster_cores
+        core_time = [0.0] * cfg.raster_cores
+        for core in range(cfg.raster_cores):
+            mine = scu_done[cores == core]
+            if mine.shape[0]:
+                core_time[core] = float(np.add.accumulate(mine)[-1])
         report.total_cycles = max(core_time) if core_time else 0.0
         return report

@@ -20,6 +20,11 @@ physics deliberately changes — keep it in lockstep with the equations in
 
 from __future__ import annotations
 
+import heapq
+
+import numpy as np
+
+from ..core.gaussian_table import TABLE_ENTRY_BYTES
 from .accelerator import (
     _BITMAP_BYTES_64,
     _DRAM_EFFICIENCY as _NEO_DRAM_EFFICIENCY,
@@ -64,8 +69,21 @@ from .stages import (
     StageTraffic,
     effective_pairs,
 )
+from .raster_engine import (
+    RasterEngineReport,
+    RasterEngineSim,
+    groups_for_tile,
+    rasterize_tile_timeline,
+)
+from .sorting_engine import (
+    ChunkJob,
+    CoreTrace,
+    SortingEngineReport,
+    SortingEngineSim,
+    chunk_compute_cycles,
+)
 from .system import SystemModel
-from .workload import FrameWorkload
+from .workload import FrameWorkload, WorkloadModel, pair_lists
 
 
 # ----------------------------------------------------------------------
@@ -282,4 +300,253 @@ def scalar_simulate(
         resolution=(workloads[0].width, workloads[0].height),
     )
     report.frames = [scalar_frame_report(model, w) for w in workloads]
+    return report
+
+
+# ----------------------------------------------------------------------
+# Workload temporal-similarity pins
+# ----------------------------------------------------------------------
+# Frozen scalar implementations of the WorkloadModel similarity queries
+# (``_pair_keys`` / ``_churn_counts`` / ``shared_fraction_per_tile`` /
+# ``order_differences``) exactly as they existed before the tile-stream
+# segmented rewrite.  They rebuild the per-Gaussian pair lists directly from
+# ``pair_lists`` on the model's scaled geometry, so they are independent of
+# the model's stream cache.
+
+
+def _depth_percentile(query: np.ndarray, population: np.ndarray) -> np.ndarray:
+    """Continuous ECDF percentile of ``query`` depths within ``population``."""
+    sorted_pop = np.sort(population)
+    n = sorted_pop.shape[0]
+    if n < 2:
+        return np.zeros_like(query)
+    return np.interp(query, sorted_pop, np.linspace(0.0, 1.0, n))
+
+
+def _group_by_tile(tiles: np.ndarray, rows: np.ndarray) -> dict[int, np.ndarray]:
+    """Split a pair list into per-tile row arrays."""
+    order = np.argsort(tiles, kind="stable")
+    tiles_sorted = tiles[order]
+    rows_sorted = rows[order]
+    out: dict[int, np.ndarray] = {}
+    if tiles_sorted.shape[0] == 0:
+        return out
+    boundaries = np.flatnonzero(np.diff(tiles_sorted)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [tiles_sorted.shape[0]]])
+    for s, e in zip(starts, ends):
+        out[int(tiles_sorted[s])] = rows_sorted[s:e]
+    return out
+
+
+def _scalar_frame_pairs(
+    model: WorkloadModel, frame: int, width: int, height: int, tile_size: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-Gaussian (tile, row) pair lists, bypassing the stream cache."""
+    means2d, radii = model.scaled_geometry(frame, (width, height))
+    return pair_lists(means2d, radii, width, height, tile_size)
+
+
+def scalar_pair_keys(
+    model: WorkloadModel, frame: int, resolution, tile_size: int
+) -> np.ndarray:
+    """Unique (tile, global-ID) keys for a frame's pairs."""
+    width, height = model._resolve(resolution)
+    tiles, rows = _scalar_frame_pairs(model, frame, width, height, tile_size)
+    ids = model.frames[frame].ids[rows]
+    return tiles.astype(np.int64) * (1 << 32) + ids
+
+
+def scalar_churn_counts(
+    model: WorkloadModel, frame: int, resolution, tile_size: int
+) -> tuple[int, int]:
+    """(incoming, outgoing) pair counts vs. the previous frame."""
+    if frame == 0:
+        return 0, 0
+    cur = scalar_pair_keys(model, frame, resolution, tile_size)
+    prev = scalar_pair_keys(model, frame - 1, resolution, tile_size)
+    incoming = int(np.count_nonzero(~np.isin(cur, prev)))
+    outgoing = int(np.count_nonzero(~np.isin(prev, cur)))
+    return incoming, outgoing
+
+
+def scalar_shared_fraction_per_tile(
+    model: WorkloadModel, frame: int, resolution, tile_size: int
+) -> np.ndarray:
+    """Per-tile share of the previous frame's Gaussians retained (Fig. 6)."""
+    if frame == 0:
+        raise ValueError("frame 0 has no predecessor")
+    width, height = model._resolve(resolution)
+    prev_tiles, prev_rows = _scalar_frame_pairs(model, frame - 1, width, height, tile_size)
+    cur_keys = scalar_pair_keys(model, frame, (width, height), tile_size)
+    prev_ids = model.frames[frame - 1].ids[prev_rows]
+    prev_keys = prev_tiles.astype(np.int64) * (1 << 32) + prev_ids
+    retained = np.isin(prev_keys, cur_keys)
+
+    _, inverse, counts = np.unique(prev_tiles, return_inverse=True, return_counts=True)
+    kept = np.bincount(inverse, weights=retained, minlength=counts.shape[0])
+    return kept / counts
+
+
+def scalar_order_differences(
+    model: WorkloadModel, frame: int, resolution, tile_size: int
+) -> np.ndarray:
+    """Per-Gaussian sort-position shifts between consecutive frames (Fig. 7)."""
+    if frame == 0:
+        raise ValueError("frame 0 has no predecessor")
+    width, height = model._resolve(resolution)
+    prev_pairs = _scalar_frame_pairs(model, frame - 1, width, height, tile_size)
+    cur_pairs = _scalar_frame_pairs(model, frame, width, height, tile_size)
+    return scalar_order_differences_pairs(
+        prev_pairs, cur_pairs, model.frames[frame - 1], model.frames[frame],
+        model.count_scale,
+    )
+
+
+def scalar_order_differences_pairs(
+    prev_pairs, cur_pairs, prev_geo, cur_geo, count_scale: float
+) -> np.ndarray:
+    """The per-tile order-difference loop over prebuilt pair lists.
+
+    Split out so the benchmark can time the query against cached pair lists,
+    matching what the historical ``_pair_cache`` amortized.
+    """
+    prev_tiles, prev_rows = prev_pairs
+    cur_tiles, cur_rows = cur_pairs
+
+    diffs: list[np.ndarray] = []
+    cur_by_tile = _group_by_tile(cur_tiles, cur_rows)
+    prev_by_tile = _group_by_tile(prev_tiles, prev_rows)
+    for tile, prev_r in prev_by_tile.items():
+        cur_r = cur_by_tile.get(tile)
+        if cur_r is None:
+            continue
+        prev_ids = prev_geo.ids[prev_r]
+        cur_ids = cur_geo.ids[cur_r]
+        shared, prev_pos, cur_pos = np.intersect1d(
+            prev_ids, cur_ids, assume_unique=True, return_indices=True
+        )
+        if shared.shape[0] < 2:
+            continue
+        # Rank both frames within the *shared* population so membership
+        # churn does not masquerade as reordering; only genuine depth
+        # re-ordering among retained Gaussians contributes.
+        shared_prev_depths = prev_geo.depths[prev_r][prev_pos]
+        shared_cur_depths = cur_geo.depths[cur_r][cur_pos]
+        pct_prev = _depth_percentile(shared_prev_depths, shared_prev_depths)
+        pct_cur = _depth_percentile(shared_cur_depths, shared_cur_depths)
+        nominal_occ = cur_r.shape[0] * count_scale
+        diffs.append(np.abs(pct_cur - pct_prev) * nominal_occ)
+    if not diffs:
+        return np.empty(0)
+    return np.concatenate(diffs)
+
+
+# ----------------------------------------------------------------------
+# Engine pins
+# ----------------------------------------------------------------------
+# Frozen scalar per-tile / per-job loops of the Rasterization and Sorting
+# Engine simulators, exactly as they existed before the flat tile-stream
+# vectorization.  ``rasterize_tile_timeline`` / ``groups_for_tile`` /
+# ``chunk_compute_cycles`` are themselves frozen public single-item APIs and
+# are reused here directly.
+
+
+def scalar_raster_engine_frame(
+    sim: RasterEngineSim, tile_gaussians, tile_hits
+) -> RasterEngineReport:
+    """One frame through the historical per-tile timeline loop."""
+    if len(tile_gaussians) != len(tile_hits):
+        raise ValueError("tile_gaussians and tile_hits must align")
+    timelines: list = []
+    tiles = 0
+    scu_cycles = 0.0
+    itu_cycles = 0.0
+    core_time = [0.0] * sim.config.raster_cores
+    for i, (gaussians, hits) in enumerate(zip(tile_gaussians, tile_hits)):
+        if gaussians <= 0:
+            continue
+        timeline = rasterize_tile_timeline(groups_for_tile(gaussians, hits, sim.config))
+        core = i % sim.config.raster_cores
+        core_time[core] += timeline.total_cycles
+        timelines.append(timeline)
+        tiles += 1
+        scu_cycles += timeline.scu_cycles
+        itu_cycles += timeline.itu_cycles
+    total_cycles = max(core_time) if core_time else 0.0
+    return RasterEngineReport.from_timelines(
+        timelines,
+        total_cycles=total_cycles,
+        tiles=tiles,
+        scu_cycles=scu_cycles,
+        itu_cycles=itu_cycles,
+    )
+
+
+def scalar_jobs_from_occupancy(occupancy, chunk_size: int = 256) -> list[ChunkJob]:
+    """Historical per-tile while-loop chunking of a frame's table sizes."""
+    jobs: list[ChunkJob] = []
+    for tile, size in enumerate(occupancy):
+        size = int(size)
+        start = 0
+        while start < size:
+            jobs.append(ChunkJob(tile=tile, entries=min(chunk_size, size - start)))
+            start += chunk_size
+    return jobs
+
+
+def scalar_sorting_engine_simulate(
+    sim: SortingEngineSim, jobs: list[ChunkJob]
+) -> SortingEngineReport:
+    """One frame's chunk stream through the historical per-job event loop."""
+    report = SortingEngineReport(
+        cores=[CoreTrace() for _ in range(sim.config.sorting_cores)]
+    )
+    if not jobs:
+        return report
+
+    port_free = 0  # next cycle the shared DRAM port is available
+    compute_free = [0] * sim.config.sorting_cores
+    pending_stores: list[tuple[int, int, int]] = []  # (ready, cycles, core)
+
+    def issue_store(ready: int, cycles: int, core: int) -> None:
+        nonlocal port_free
+        start = max(port_free, ready)
+        port_free = start + cycles
+        report.dram_busy_cycles += cycles
+        report.cores[core].finish_cycle = port_free
+        report.total_cycles = max(report.total_cycles, port_free)
+
+    for job in jobs:
+        core_idx = min(range(len(compute_free)), key=compute_free.__getitem__)
+        trace = report.cores[core_idx]
+
+        load_cycles = sim._transfer_cycles(job.entries * TABLE_ENTRY_BYTES)
+        store_cycles = load_cycles
+        compute = chunk_compute_cycles(job.entries, sim.config.bsu_width)
+
+        # Drain any write-backs already ready before this load.
+        while pending_stores and pending_stores[0][0] <= port_free:
+            ready, cycles, core = heapq.heappop(pending_stores)
+            issue_store(ready, cycles, core)
+
+        load_end = port_free + load_cycles
+        port_free = load_end
+        report.dram_busy_cycles += load_cycles
+
+        compute_start = max(load_end, compute_free[core_idx])
+        compute_end = compute_start + compute
+        compute_free[core_idx] = compute_end
+        heapq.heappush(pending_stores, (compute_end, store_cycles, core_idx))
+
+        trace.busy_cycles += compute
+        trace.chunks += 1
+        report.compute_cycles += compute
+        report.chunks += 1
+        report.entries += job.entries
+        report.total_cycles = max(report.total_cycles, compute_end)
+
+    while pending_stores:
+        ready, cycles, core = heapq.heappop(pending_stores)
+        issue_store(ready, cycles, core)
     return report

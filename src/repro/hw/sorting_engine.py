@@ -18,6 +18,8 @@ import heapq
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..core.bitonic import network_stages
 from .config import DramConfig, NeoConfig
 from ..core.gaussian_table import TABLE_ENTRY_BYTES
@@ -110,16 +112,50 @@ def chunk_compute_cycles(entries: int, bsu_width: int = 16) -> int:
     return bsu + merge_levels * entries
 
 
+def chunk_compute_cycles_array(entries: np.ndarray, bsu_width: int = 16) -> np.ndarray:
+    """Vectorized :func:`chunk_compute_cycles` over an array of chunk sizes.
+
+    ``bit_length`` of a positive integer is the binary exponent ``np.frexp``
+    returns, so the merge-level count batches without a Python loop.
+    """
+    entries = np.asarray(entries, dtype=np.int64)
+    runs = -(-entries // bsu_width)
+    bsu = runs * network_stages(bsu_width)
+    merge_levels = np.zeros(entries.shape[0], dtype=np.int64)
+    deep = runs > 1
+    if np.any(deep):
+        merge_levels[deep] = np.frexp((runs[deep] - 1).astype(np.float64))[1]
+    return np.where(entries > 0, bsu + merge_levels * entries, 0)
+
+
+def chunk_stream_from_occupancy(
+    occupancy, chunk_size: int = 256
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flat (tile, entries) chunk stream for one frame's per-tile table sizes.
+
+    The SoA counterpart of :func:`jobs_from_occupancy`: same chunks in the
+    same order (ascending tile, full chunks first, remainder last), as two
+    aligned arrays instead of a list of :class:`ChunkJob` objects.
+    """
+    occ = np.asarray(occupancy, dtype=np.int64)
+    chunks_per = np.zeros(occ.shape[0], dtype=np.int64)
+    pos = occ > 0
+    chunks_per[pos] = -(-occ[pos] // chunk_size)
+    tiles = np.repeat(np.arange(occ.shape[0], dtype=np.int64), chunks_per)
+    entries = np.full(tiles.shape[0], chunk_size, dtype=np.int64)
+    if np.any(pos):
+        last = np.cumsum(chunks_per[pos]) - 1
+        entries[last] = occ[pos] - (chunks_per[pos] - 1) * chunk_size
+    return tiles, entries
+
+
 def jobs_from_occupancy(occupancy, chunk_size: int = 256) -> list[ChunkJob]:
     """Split per-tile table sizes into the chunk jobs one frame issues."""
-    jobs: list[ChunkJob] = []
-    for tile, size in enumerate(occupancy):
-        size = int(size)
-        start = 0
-        while start < size:
-            jobs.append(ChunkJob(tile=tile, entries=min(chunk_size, size - start)))
-            start += chunk_size
-    return jobs
+    tiles, entries = chunk_stream_from_occupancy(occupancy, chunk_size)
+    return [
+        ChunkJob(tile=tile, entries=size)
+        for tile, size in zip(tiles.tolist(), entries.tolist())
+    ]
 
 
 @dataclass
@@ -147,6 +183,13 @@ class SortingEngineSim:
         )
         return max(int(round(num_bytes / bytes_per_cycle)), 1)
 
+    def _transfer_cycles_array(self, num_bytes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_transfer_cycles` (``round`` is half-to-even)."""
+        bytes_per_cycle = (
+            self.dram.bandwidth_gbps * self.dram.efficiency / self.frequency_ghz
+        )
+        return np.maximum(np.rint(num_bytes / bytes_per_cycle), 1.0).astype(np.int64)
+
     def simulate(self, jobs: list[ChunkJob]) -> SortingEngineReport:
         """Run one frame's chunk stream through the engine.
 
@@ -156,11 +199,30 @@ class SortingEngineSim:
         whenever the port would otherwise sit idle ahead of the next load
         (double buffering decouples transfers from compute).
         """
+        entries = np.fromiter(
+            (job.entries for job in jobs), dtype=np.int64, count=len(jobs)
+        )
+        return self._simulate_entries(entries)
+
+    def _simulate_entries(self, entries: np.ndarray) -> SortingEngineReport:
+        """Event loop over a flat chunk-size array.
+
+        Per-chunk transfer and compute cycles are batched up front
+        (:meth:`_transfer_cycles_array`, :func:`chunk_compute_cycles_array`);
+        the data-dependent load/compute/store interleaving stays an explicit
+        integer event loop, so the schedule — and with it every cycle count —
+        is identical to the frozen per-job loop preserved in
+        :func:`repro.hw.reference.scalar_sorting_engine_simulate`.
+        """
         report = SortingEngineReport(
             cores=[CoreTrace() for _ in range(self.config.sorting_cores)]
         )
-        if not jobs:
+        if entries.shape[0] == 0:
             return report
+
+        transfer = self._transfer_cycles_array(entries * TABLE_ENTRY_BYTES).tolist()
+        compute_cycles = chunk_compute_cycles_array(entries, self.config.bsu_width).tolist()
+        entry_list = entries.tolist()
 
         port_free = 0  # next cycle the shared DRAM port is available
         compute_free = [0] * self.config.sorting_cores
@@ -174,13 +236,12 @@ class SortingEngineSim:
             report.cores[core].finish_cycle = port_free
             report.total_cycles = max(report.total_cycles, port_free)
 
-        for job in jobs:
+        for load_cycles, compute, num_entries in zip(
+            transfer, compute_cycles, entry_list
+        ):
             core_idx = min(range(len(compute_free)), key=compute_free.__getitem__)
             trace = report.cores[core_idx]
-
-            load_cycles = self._transfer_cycles(job.entries * TABLE_ENTRY_BYTES)
             store_cycles = load_cycles
-            compute = chunk_compute_cycles(job.entries, self.config.bsu_width)
 
             # Drain any write-backs already ready before this load.
             while pending_stores and pending_stores[0][0] <= port_free:
@@ -200,7 +261,7 @@ class SortingEngineSim:
             trace.chunks += 1
             report.compute_cycles += compute
             report.chunks += 1
-            report.entries += job.entries
+            report.entries += num_entries
             report.total_cycles = max(report.total_cycles, compute_end)
 
         while pending_stores:
@@ -211,4 +272,5 @@ class SortingEngineSim:
     def simulate_frame(self, occupancy, chunk_size: int | None = None) -> SortingEngineReport:
         """Convenience: simulate a frame given per-tile table sizes."""
         size = chunk_size if chunk_size is not None else self.config.chunk_size
-        return self.simulate(jobs_from_occupancy(occupancy, size))
+        _, entries = chunk_stream_from_occupancy(occupancy, size)
+        return self._simulate_entries(entries)

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..pipeline.culling import frustum_cull
 from ..pipeline.projection import project_gaussians
+from ..pipeline.tiling import TileStream, _warn_deprecated
 from ..scene.camera import Camera, resolution as named_resolution
 from ..scene.datasets import default_trajectory, load_scene, scene_spec
 from ..scene.gaussians import GaussianScene
@@ -192,7 +193,11 @@ class WorkloadModel:
         self.count_scale = count_scale
         self.functional_gaussians = functional_gaussians
         self.scene_name = scene_name
-        self._pair_cache: dict[tuple[int, int, int, int], tuple[np.ndarray, np.ndarray]] = {}
+        # (frame, width, height, tile_size) -> TileStream of Gaussian rows.
+        self._stream_cache: dict[tuple[int, int, int, int], TileStream] = {}
+        # Same key -> ((tile, ID) keys in stream order, sorted copy).  Built
+        # once per configuration so churn/retention queries never re-sort.
+        self._key_cache: dict[tuple[int, int, int, int], tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -275,34 +280,52 @@ class WorkloadModel:
         s = height / self.capture_height
         return geo.means2d * s, geo.radii * s
 
-    def frame_pairs(
+    def frame_stream(
         self, frame: int, resolution: str | tuple[int, int], tile_size: int
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """(tile, Gaussian-row) pair lists at the target configuration.
+    ) -> TileStream:
+        """Tile-grouped stream of Gaussian rows at the target configuration.
 
-        Rows index the frame's :class:`FrameGeometry` arrays; cached.
+        Values index the frame's :class:`FrameGeometry` arrays; cached per
+        configuration.  This is the canonical tile-facing accessor — every
+        workload query below is a segmented program over it.
         """
         width, height = self._resolve(resolution)
         key = (frame, width, height, tile_size)
-        if key not in self._pair_cache:
+        if key not in self._stream_cache:
             means2d, radii = self.scaled_geometry(frame, (width, height))
-            self._pair_cache[key] = pair_lists(means2d, radii, width, height, tile_size)
-        return self._pair_cache[key]
+            tiles, rows = pair_lists(means2d, radii, width, height, tile_size)
+            tiles_x = -(-width // tile_size)
+            tiles_y = -(-height // tile_size)
+            self._stream_cache[key] = TileStream.from_pairs(
+                tiles, rows, tiles_x * tiles_y
+            )
+        return self._stream_cache[key]
+
+    def frame_pairs(
+        self, frame: int, resolution: str | tuple[int, int], tile_size: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Deprecated pair-list accessor; use :meth:`frame_stream`.
+
+        Returns ``(tiles, rows)`` in the stream's tile-grouped order (the
+        historical order was per-Gaussian; all counting/set queries are
+        order-invariant).
+        """
+        _warn_deprecated("WorkloadModel.frame_pairs", "WorkloadModel.frame_stream")
+        stream = self.frame_stream(frame, resolution, tile_size)
+        return stream.tile_of(), stream.values
 
     def frame_workload(
         self, frame: int, resolution: str | tuple[int, int], tile_size: int
     ) -> FrameWorkload:
         """Paper-scale workload for one frame at one configuration."""
         width, height = self._resolve(resolution)
-        tiles, rows = self.frame_pairs(frame, (width, height), tile_size)
+        stream = self.frame_stream(frame, (width, height), tile_size)
         geo = self.frames[frame]
-        tiles_x = -(-width // tile_size)
-        tiles_y = -(-height // tile_size)
-        num_tiles = tiles_x * tiles_y
+        num_tiles = stream.num_tiles
 
-        occupancy = np.bincount(tiles, minlength=num_tiles)
+        occupancy = stream.counts()
         nonempty = int(np.count_nonzero(occupancy))
-        pairs_f = tiles.shape[0]
+        pairs_f = stream.num_pairs
 
         incoming_f, outgoing_f = self._churn_counts(frame, (width, height), tile_size)
 
@@ -346,10 +369,25 @@ class WorkloadModel:
     def _pair_keys(
         self, frame: int, resolution: tuple[int, int], tile_size: int
     ) -> np.ndarray:
-        """Unique (tile, global-ID) keys for a frame's pairs."""
-        tiles, rows = self.frame_pairs(frame, resolution, tile_size)
-        ids = self.frames[frame].ids[rows]
-        return tiles.astype(np.int64) * (1 << 32) + ids
+        """Unique (tile, global-ID) keys for a frame's pairs (stream order)."""
+        return self._key_tables(frame, resolution, tile_size)[0]
+
+    def _key_tables(
+        self, frame: int, resolution: tuple[int, int], tile_size: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(stream-order keys, sorted keys) for a frame's pairs, cached.
+
+        The sorted table is what makes every membership query below a binary
+        search instead of an ``np.isin`` re-sort per frame pair.
+        """
+        width, height = self._resolve(resolution)
+        key = (frame, width, height, tile_size)
+        if key not in self._key_cache:
+            stream = self.frame_stream(frame, (width, height), tile_size)
+            ids = self.frames[frame].ids[stream.values]
+            keys = stream.tile_of() * (1 << 32) + ids
+            self._key_cache[key] = (keys, np.sort(keys))
+        return self._key_cache[key]
 
     def _churn_counts(
         self, frame: int, resolution: tuple[int, int], tile_size: int
@@ -357,10 +395,10 @@ class WorkloadModel:
         """(incoming, outgoing) pair counts vs. the previous frame."""
         if frame == 0:
             return 0, 0
-        cur = self._pair_keys(frame, resolution, tile_size)
-        prev = self._pair_keys(frame - 1, resolution, tile_size)
-        incoming = int(np.count_nonzero(~np.isin(cur, prev)))
-        outgoing = int(np.count_nonzero(~np.isin(prev, cur)))
+        cur, cur_sorted = self._key_tables(frame, resolution, tile_size)
+        prev, prev_sorted = self._key_tables(frame - 1, resolution, tile_size)
+        incoming = cur.shape[0] - _membership_count(cur, prev_sorted)
+        outgoing = prev.shape[0] - _membership_count(prev, cur_sorted)
         return incoming, outgoing
 
     def shared_fraction_per_tile(
@@ -373,19 +411,21 @@ class WorkloadModel:
         if frame == 0:
             raise ValueError("frame 0 has no predecessor")
         width, height = self._resolve(resolution)
-        prev_tiles, prev_rows = self.frame_pairs(frame - 1, (width, height), tile_size)
-        cur_keys = self._pair_keys(frame, (width, height), tile_size)
-        prev_ids = self.frames[frame - 1].ids[prev_rows]
-        prev_keys = prev_tiles.astype(np.int64) * (1 << 32) + prev_ids
-        retained = np.isin(prev_keys, cur_keys)
+        prev_stream = self.frame_stream(frame - 1, (width, height), tile_size)
+        prev_keys, _ = self._key_tables(frame - 1, (width, height), tile_size)
+        _, cur_sorted = self._key_tables(frame, (width, height), tile_size)
+        retained = _membership(prev_keys, cur_sorted)
 
-        # One bincount pair instead of a mask scan per tile.  Retained
-        # counts are exact integers, so sum/size division reproduces the
-        # per-tile ``mean()`` bit-for-bit; ``np.unique`` kept the tiles
-        # sorted, and so does ``return_inverse``.
-        _, inverse, counts = np.unique(prev_tiles, return_inverse=True, return_counts=True)
-        kept = np.bincount(inverse, weights=retained, minlength=counts.shape[0])
-        return kept / counts
+        # Retained counts are exact 0/1 sums, so the per-tile sum/size
+        # division reproduces the historical per-tile ``mean()`` bit-for-bit;
+        # the stream's nonempty tiles are exactly ``np.unique``'s sorted
+        # output over the old pair list.
+        counts = prev_stream.counts()
+        nonempty = counts > 0
+        kept = np.add.reduceat(
+            retained.astype(np.float64), prev_stream.offsets[:-1][nonempty]
+        ) if np.any(nonempty) else np.empty(0)
+        return kept / counts[nonempty]
 
     def order_differences(
         self, frame: int, resolution: str | tuple[int, int], tile_size: int
@@ -400,63 +440,104 @@ class WorkloadModel:
         and table length grows linearly with Gaussian count).  The
         interpolation avoids the rank quantization a 10^3-x-reduced
         functional table would otherwise impose.
+
+        Computed as one segmented program: a per-tile key intersection of the
+        two frames' streams (:meth:`TileStream.segment_intersect`) followed by
+        a segmented ECDF, bit-identical to the frozen per-tile
+        ``np.intersect1d`` + ``np.interp`` loop preserved in
+        :mod:`repro.hw.reference` — ``np.interp`` over an ECDF whose queries
+        are population members reduces exactly to a run-end ``searchsorted``
+        against ``np.linspace``'s ``j * step`` grid.
         """
         if frame == 0:
             raise ValueError("frame 0 has no predecessor")
         width, height = self._resolve(resolution)
-        prev_tiles, prev_rows = self.frame_pairs(frame - 1, (width, height), tile_size)
-        cur_tiles, cur_rows = self.frame_pairs(frame, (width, height), tile_size)
+        prev_stream = self.frame_stream(frame - 1, (width, height), tile_size)
+        cur_stream = self.frame_stream(frame, (width, height), tile_size)
         prev_geo = self.frames[frame - 1]
         cur_geo = self.frames[frame]
 
-        diffs: list[np.ndarray] = []
-        cur_by_tile = _group_by_tile(cur_tiles, cur_rows)
-        prev_by_tile = _group_by_tile(prev_tiles, prev_rows)
-        for tile, prev_r in prev_by_tile.items():
-            cur_r = cur_by_tile.get(tile)
-            if cur_r is None:
-                continue
-            prev_ids = prev_geo.ids[prev_r]
-            cur_ids = cur_geo.ids[cur_r]
-            shared, prev_pos, cur_pos = np.intersect1d(
-                prev_ids, cur_ids, assume_unique=True, return_indices=True
-            )
-            if shared.shape[0] < 2:
-                continue
-            # Rank both frames within the *shared* population so membership
-            # churn does not masquerade as reordering; only genuine depth
-            # re-ordering among retained Gaussians contributes.
-            shared_prev_depths = prev_geo.depths[prev_r][prev_pos]
-            shared_cur_depths = cur_geo.depths[cur_r][cur_pos]
-            pct_prev = _depth_percentile(shared_prev_depths, shared_prev_depths)
-            pct_cur = _depth_percentile(shared_cur_depths, shared_cur_depths)
-            nominal_occ = cur_r.shape[0] * self.count_scale
-            diffs.append(np.abs(pct_cur - pct_prev) * nominal_occ)
-        if not diffs:
+        prev_ids = prev_geo.ids[prev_stream.values]
+        cur_ids = cur_geo.ids[cur_stream.values]
+        inter = prev_stream.segment_intersect(prev_ids, cur_stream, cur_ids)
+        if inter.num_shared == 0:
             return np.empty(0)
-        return np.concatenate(diffs)
+
+        # Tiles sharing fewer than two Gaussians contribute nothing.
+        seg_counts = inter.counts()
+        keep_tile = seg_counts >= 2
+        if not np.any(keep_tile):
+            return np.empty(0)
+        entry_tile = np.repeat(
+            np.arange(prev_stream.num_tiles, dtype=np.int64), seg_counts
+        )
+        keep = keep_tile[entry_tile]
+
+        tile_k = entry_tile[keep]
+        dp = prev_geo.depths[prev_stream.values[inter.self_indices[keep]]]
+        dc = cur_geo.depths[cur_stream.values[inter.other_indices[keep]]]
+
+        kept_counts = seg_counts[keep_tile]
+        seg_id = np.repeat(np.arange(kept_counts.shape[0], dtype=np.int64), kept_counts)
+        seg_starts = np.zeros(kept_counts.shape[0], dtype=np.int64)
+        np.cumsum(kept_counts[:-1], out=seg_starts[1:])
+        seg_len = kept_counts[seg_id]
+
+        pct_prev = _segmented_ecdf(dp, seg_id, seg_starts, seg_len)
+        pct_cur = _segmented_ecdf(dc, seg_id, seg_starts, seg_len)
+
+        # Position shift at nominal occupancy: percentile delta times the
+        # tile's *full* current table length, scaled to the nominal count.
+        nominal_occ = cur_stream.counts()[tile_k] * self.count_scale
+        return np.abs(pct_cur - pct_prev) * nominal_occ
 
 
-def _depth_percentile(query: np.ndarray, population: np.ndarray) -> np.ndarray:
-    """Continuous ECDF percentile of ``query`` depths within ``population``."""
-    sorted_pop = np.sort(population)
-    n = sorted_pop.shape[0]
-    if n < 2:
-        return np.zeros_like(query)
-    return np.interp(query, sorted_pop, np.linspace(0.0, 1.0, n))
+def _membership(keys: np.ndarray, table_sorted: np.ndarray) -> np.ndarray:
+    """Boolean membership of ``keys`` in a pre-sorted key table."""
+    if table_sorted.shape[0] == 0:
+        return np.zeros(keys.shape[0], dtype=bool)
+    pos = np.searchsorted(table_sorted, keys)
+    safe = np.minimum(pos, table_sorted.shape[0] - 1)
+    return table_sorted[safe] == keys
 
 
-def _group_by_tile(tiles: np.ndarray, rows: np.ndarray) -> dict[int, np.ndarray]:
-    """Split a pair list into per-tile row arrays."""
-    order = np.argsort(tiles, kind="stable")
-    tiles_sorted = tiles[order]
-    rows_sorted = rows[order]
-    out: dict[int, np.ndarray] = {}
-    if tiles_sorted.shape[0] == 0:
-        return out
-    boundaries = np.flatnonzero(np.diff(tiles_sorted)) + 1
-    starts = np.concatenate([[0], boundaries])
-    ends = np.concatenate([boundaries, [tiles_sorted.shape[0]]])
-    for s, e in zip(starts, ends):
-        out[int(tiles_sorted[s])] = rows_sorted[s:e]
-    return out
+def _membership_count(keys: np.ndarray, table_sorted: np.ndarray) -> int:
+    """Number of ``keys`` present in a pre-sorted key table."""
+    return int(np.count_nonzero(_membership(keys, table_sorted)))
+
+
+def _segmented_ecdf(
+    depths: np.ndarray,
+    seg_id: np.ndarray,
+    seg_starts: np.ndarray,
+    seg_len: np.ndarray,
+) -> np.ndarray:
+    """Per-segment continuous ECDF percentile of each entry's depth.
+
+    Replicates ``np.interp(d, np.sort(d), np.linspace(0, 1, n))`` for every
+    segment at once.  When every query is a member of the population,
+    ``np.interp`` lands exactly on the knot of the query's *last* occurrence
+    in the sorted population, i.e. ``linspace[j]`` with
+    ``j = searchsorted(sorted, q, side='right') - 1``; and ``np.linspace``
+    is ``j * (1 / (n - 1))`` with the final knot forced to exactly ``1.0``.
+    Both identities are replayed here per segment: one ``(segment, depth)``
+    lexsort, run-end indices for the duplicate-aware ``j``, and the
+    ``j * step`` grid.  Segments must have length >= 2.
+    """
+    total = depths.shape[0]
+    order = np.lexsort((depths, seg_id))
+    ds = depths[order]
+    # Segments are contiguous blocks before and after the lexsort, so the
+    # per-entry segment metadata is order-invariant.
+    is_end = np.empty(total, dtype=bool)
+    is_end[-1] = True
+    is_end[:-1] = (seg_id[1:] != seg_id[:-1]) | (ds[1:] != ds[:-1])
+    ends = np.flatnonzero(is_end)
+    run_end = ends[np.searchsorted(ends, np.arange(total), side="left")]
+    j = run_end - seg_starts[seg_id]
+
+    step = 1.0 / (seg_len - 1)
+    pct_sorted = np.where(j == seg_len - 1, 1.0, j * step)
+    pct = np.empty(total, dtype=np.float64)
+    pct[order] = pct_sorted
+    return pct

@@ -1,0 +1,66 @@
+"""Frozen scalar reference for the temporal-similarity metrics.
+
+This module preserves, verbatim, the pre-vectorization per-tile loop of
+:func:`repro.metrics.similarity.frame_similarity` (and the per-tile helpers
+it calls) before the tile-stream segmented rewrite landed.  It mirrors
+:mod:`repro.pipeline.reference` / :mod:`repro.hw.reference` and exists for
+two callers only:
+
+* the **golden equivalence tests**, which assert the segmented
+  ``frame_similarity`` is *bit-identical* to this loop — every shared
+  fraction and every order-difference entry, in the same order;
+* the **benchmark subsystem** (``repro bench``), which times the loop
+  against the segmented path and records the speedup in
+  ``BENCH_pipeline.json``.
+
+Because this is a historical pin, it must only change when the metric's
+definition deliberately changes — keep it in lockstep with
+:mod:`repro.metrics.similarity`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..pipeline.sorting import SortedTiles
+from .similarity import SimilarityStats
+
+
+def tile_shared_fraction(prev_ids: np.ndarray, cur_ids: np.ndarray) -> float:
+    """Proportion of the previous frame's tile Gaussians still present."""
+    if prev_ids.shape[0] == 0:
+        return 1.0
+    return float(np.mean(np.isin(prev_ids, cur_ids)))
+
+
+def tile_order_differences(prev_ids: np.ndarray, cur_ids: np.ndarray) -> np.ndarray:
+    """Absolute sort-position shifts of Gaussians shared by both lists."""
+    shared, prev_pos, cur_pos = np.intersect1d(
+        prev_ids, cur_ids, assume_unique=False, return_indices=True
+    )
+    if shared.shape[0] < 2:
+        return np.empty(0)
+    prev_rank = np.argsort(np.argsort(prev_pos, kind="stable"))
+    cur_rank = np.argsort(np.argsort(cur_pos, kind="stable"))
+    return np.abs(prev_rank - cur_rank).astype(np.float64)
+
+
+def frame_similarity(prev: SortedTiles, cur: SortedTiles) -> SimilarityStats:
+    """Per-tile Python loop (frozen pre-segmentation reference)."""
+    if prev.num_tiles != cur.num_tiles:
+        raise ValueError("frames must cover the same tile grid")
+    fractions = []
+    diffs = []
+    for tile in range(prev.num_tiles):
+        prev_ids = prev.ids_for(tile)
+        if prev_ids.shape[0] == 0:
+            continue
+        cur_ids = cur.ids_for(tile)
+        fractions.append(tile_shared_fraction(prev_ids, cur_ids))
+        d = tile_order_differences(prev_ids, cur_ids)
+        if d.size:
+            diffs.append(d)
+    return SimilarityStats(
+        shared_fractions=np.asarray(fractions),
+        order_differences=np.concatenate(diffs) if diffs else np.empty(0),
+    )

@@ -71,16 +71,38 @@ def tile_order_differences(prev_ids: np.ndarray, cur_ids: np.ndarray) -> np.ndar
 
 
 def frame_similarity(prev: SortedTiles, cur: SortedTiles) -> SimilarityStats:
-    """Similarity statistics between two consecutive functional frames."""
+    """Similarity statistics between two consecutive functional frames.
+
+    Computed as one segmented array program over the frames' flat ID streams
+    instead of a per-tile Python loop: both streams are keyed by
+    ``tile * M + id`` (``M`` = one past the largest ID), sorted once, and the
+    shared set, per-tile retention counts, and segmented double-argsort
+    ranks all come from batched ``searchsorted``/``bincount``/``lexsort``
+    passes.  Output is bit-identical to the frozen per-tile loop preserved
+    in :mod:`repro.metrics.reference`: sums of 0/1 indicators are exact in
+    any order, the retention division sees identical operands, and shared
+    entries emerge in the same (ascending tile, ascending ID) order
+    ``np.intersect1d`` produced.  Inputs the composite key cannot represent
+    (negative IDs, duplicate IDs within a tile, key overflow) fall back to
+    the scalar loop.
+    """
     if prev.num_tiles != cur.num_tiles:
         raise ValueError("frames must cover the same tile grid")
+    stats = _frame_similarity_segmented(prev, cur)
+    if stats is None:
+        stats = _frame_similarity_loop(prev, cur)
+    return stats
+
+
+def _frame_similarity_loop(prev: SortedTiles, cur: SortedTiles) -> SimilarityStats:
+    """Per-tile fallback for inputs outside the composite-key domain."""
     fractions = []
     diffs = []
     for tile in range(prev.num_tiles):
-        prev_ids = prev.tile_ids[tile]
+        prev_ids = prev.ids_for(tile)
         if prev_ids.shape[0] == 0:
             continue
-        cur_ids = cur.tile_ids[tile]
+        cur_ids = cur.ids_for(tile)
         fractions.append(tile_shared_fraction(prev_ids, cur_ids))
         d = tile_order_differences(prev_ids, cur_ids)
         if d.size:
@@ -88,6 +110,88 @@ def frame_similarity(prev: SortedTiles, cur: SortedTiles) -> SimilarityStats:
     return SimilarityStats(
         shared_fractions=np.asarray(fractions),
         order_differences=np.concatenate(diffs) if diffs else np.empty(0),
+    )
+
+
+def _segment_ranks(local_pos: np.ndarray, seg_id: np.ndarray, seg_starts: np.ndarray) -> np.ndarray:
+    """Rank of each entry's position within its segment (double argsort).
+
+    ``seg_id`` must be non-decreasing, so each segment occupies the same
+    contiguous index block before and after the ``(segment, position)``
+    lexsort — the in-segment rank is then the global sorted index minus the
+    segment's start.
+    """
+    total = local_pos.shape[0]
+    order = np.lexsort((local_pos, seg_id))
+    ranks = np.empty(total, dtype=np.int64)
+    ranks[order] = np.arange(total, dtype=np.int64) - seg_starts[seg_id[order]]
+    return ranks
+
+
+def _frame_similarity_segmented(prev: SortedTiles, cur: SortedTiles) -> SimilarityStats | None:
+    """Segmented frame similarity; ``None`` if the inputs need the fallback."""
+    num_tiles = prev.num_tiles
+    prev_counts = prev.stream.counts()
+
+    lo = 0
+    hi = -1
+    if prev.num_pairs:
+        lo = min(lo, int(prev.ids.min()))
+        hi = max(hi, int(prev.ids.max()))
+    if cur.num_pairs:
+        lo = min(lo, int(cur.ids.min()))
+        hi = max(hi, int(cur.ids.max()))
+    if lo < 0:
+        return None
+    m = hi + 2  # strict upper bound on any ID, so keys cannot collide
+    if num_tiles and num_tiles * m >= np.iinfo(np.int64).max:
+        return None
+
+    kp = prev.stream.tile_of() * m + prev.ids
+    kc = cur.stream.tile_of() * m + cur.ids
+    op = np.argsort(kp)
+    oc = np.argsort(kc)
+    skp = kp[op]
+    skc = kc[oc]
+    if np.any(skp[1:] == skp[:-1]) or np.any(skc[1:] == skc[:-1]):
+        return None  # duplicate IDs within a tile: intersect1d semantics differ
+
+    if skc.shape[0]:
+        pos = np.searchsorted(skc, skp)
+        shared_mask = skc[np.minimum(pos, skc.shape[0] - 1)] == skp
+    else:
+        shared_mask = np.zeros(skp.shape[0], dtype=bool)
+
+    tile_sorted = prev.stream.tile_of()[op]
+    shared_counts = np.bincount(tile_sorted[shared_mask], minlength=num_tiles)
+    nonempty = prev_counts > 0
+    fractions = shared_counts[nonempty] / prev_counts[nonempty]
+
+    # Order differences only exist for tiles sharing >= 2 Gaussians.
+    tile_sh = tile_sorted[shared_mask]
+    keep = shared_counts[tile_sh] >= 2
+    if not np.any(keep):
+        return SimilarityStats(shared_fractions=fractions, order_differences=np.empty(0))
+
+    idx_p = op[shared_mask][keep]  # flat prev entry of each kept shared Gaussian
+    keys = skp[shared_mask][keep]
+    tile_k = tile_sh[keep]
+    idx_c = oc[np.searchsorted(skc, keys)]
+
+    local_p = idx_p - prev.stream.offsets[tile_k]
+    local_c = idx_c - cur.stream.offsets[tile_k]
+
+    new_seg = np.empty(tile_k.shape[0], dtype=bool)
+    new_seg[0] = True
+    new_seg[1:] = tile_k[1:] != tile_k[:-1]
+    seg_id = np.cumsum(new_seg) - 1
+    seg_starts = np.flatnonzero(new_seg)
+
+    prev_rank = _segment_ranks(local_p, seg_id, seg_starts)
+    cur_rank = _segment_ranks(local_c, seg_id, seg_starts)
+    return SimilarityStats(
+        shared_fractions=fractions,
+        order_differences=np.abs(prev_rank - cur_rank).astype(np.float64),
     )
 
 

@@ -215,6 +215,140 @@ def _scalar_blend_range(
         trans[gy0:gy1, gx0:gx1] = t_block * (1.0 - alpha)
 
 
+def _sparse_blend_range(
+    px: np.ndarray,
+    py: np.ndarray,
+    trans: np.ndarray,
+    color: np.ndarray,
+    means: np.ndarray,
+    conics: np.ndarray,
+    radii: np.ndarray,
+    opacities: np.ndarray,
+    colors: np.ndarray,
+    valid: np.ndarray,
+    gx0: np.ndarray,
+    gx1: np.ndarray,
+    gy0: np.ndarray,
+    gy1: np.ndarray,
+    bbox_areas: np.ndarray,
+    termination: float,
+    stats: RasterStats,
+    chunk_size: int,
+) -> None:
+    """Sparse-tile blending via a flat concatenated bbox gather.
+
+    For sparse large tiles the whole-tile chunked path wastes most of its
+    flops on empty pixels, but the scalar loop pays per-splat Python overhead
+    for the alpha math.  This path batches the expensive part instead: for a
+    chunk of splats it gathers every splat's pixel bbox into one flat array
+    (exactly ``bbox_areas`` worth of pixels — no padding) and evaluates all
+    alpha maps in one vectorized pass.  Compositing then only slices the
+    precomputed map per significant splat and performs the three cheap blend
+    ops.
+
+    The gathered ``px[col] - cx`` / ``py[row] - cy`` operands are the same
+    float values the scalar loop's bbox slices produce, and every subsequent
+    arithmetic op is elementwise in the same order, so bbox pixels carry
+    bit-identical alphas; insignificant pixels are forced to ``0.0`` exactly
+    as the scalar ``np.where`` does.
+
+    Termination mirrors the dense chunked path's argument: the scalar loop
+    checks max transmittance before *every* Gaussian, and transmittance is
+    non-increasing, so if the state before the chunk's last member still
+    clears the threshold no earlier check fired either.  The chunk is blended
+    without per-splat checks up to its last member; if the pre-last-member
+    state then sits below the threshold, the chunk is rolled back to its
+    entry snapshot and replayed through :func:`_scalar_blend_range`, landing
+    the stop on the same Gaussian with the same counters as
+    :func:`repro.pipeline.reference.rasterize_tile`.
+    """
+    n = means.shape[0]
+    bw = gx1 - gx0
+
+    for s in range(0, n, chunk_size):
+        # The pre-splat check for Gaussian ``s`` (and, transitively, every
+        # earlier member of the chunk whose pre-state can only be >= this).
+        if trans.max() < termination:
+            stats.early_terminated_tiles += 1
+            return
+        e = min(s + chunk_size, n)
+
+        # Splats the scalar loop evaluates alpha for: valid, non-empty bbox
+        # (bbox_areas is already zero for the rest).
+        idx = np.flatnonzero(bbox_areas[s:e] > 0) + s
+        k = idx.shape[0]
+        if k == 0:
+            stats.gaussians_processed += int(np.count_nonzero(valid[s:e]))
+            continue
+
+        areas = bbox_areas[idx]
+        starts = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(areas, out=starts[1:])
+        total = int(starts[-1])
+        local = np.arange(total, dtype=np.int64) - np.repeat(starts[:-1], areas)
+        bw_rep = np.repeat(bw[idx], areas)
+        rows_f = np.repeat(gy0[idx], areas) + local // bw_rep
+        cols_f = np.repeat(gx0[idx], areas) + local % bw_rep
+
+        dx = px[cols_f] - np.repeat(means[idx, 0], areas)
+        dy = py[rows_f] - np.repeat(means[idx, 1], areas)
+        a = np.repeat(conics[idx, 0], areas)
+        b = np.repeat(conics[idx, 1], areas)
+        c = np.repeat(conics[idx, 2], areas)
+        power = -0.5 * (a * dx**2 + c * dy**2) - b * dy * dx
+        alpha = np.minimum(
+            np.repeat(opacities[idx], areas) * np.exp(np.minimum(power, 0.0)),
+            MAX_ALPHA,
+        )
+        ok = (power <= 0.0) & (alpha >= MIN_ALPHA)
+        alpha = np.where(ok, alpha, 0.0)
+        sig = np.logical_or.reduceat(ok, starts[:-1])
+
+        snap_trans = trans.copy()
+        snap_color = color.copy()
+        deferred = -1
+        for j in np.flatnonzero(sig).tolist():
+            i = int(idx[j])
+            if i == e - 1:
+                # Blended only after the chunk's final pre-splat check.
+                deferred = j
+                break
+            st, en = starts[j], starts[j + 1]
+            al = alpha[st:en].reshape(gy1[i] - gy0[i], gx1[i] - gx0[i])
+            t_block = trans[gy0[i] : gy1[i], gx0[i] : gx1[i]]
+            weight = t_block * al
+            color[gy0[i] : gy1[i], gx0[i] : gx1[i]] += (
+                weight[..., None] * colors[i][None, None, :]
+            )
+            trans[gy0[i] : gy1[i], gx0[i] : gx1[i]] = t_block * (1.0 - al)
+
+        # State before the chunk's last member: below the threshold means a
+        # pre-splat check fired somewhere inside this chunk — roll back and
+        # replay scalar so the stop lands on the exact Gaussian.
+        if e - s > 1 and trans.max() < termination:
+            trans[:] = snap_trans
+            color[:] = snap_color
+            _scalar_blend_range(
+                s, n, px, py, trans, color, means, conics, radii,
+                opacities, colors, valid, termination, stats,
+            )
+            return
+
+        if deferred >= 0:
+            i = e - 1
+            st, en = starts[deferred], starts[deferred + 1]
+            al = alpha[st:en].reshape(gy1[i] - gy0[i], gx1[i] - gx0[i])
+            t_block = trans[gy0[i] : gy1[i], gx0[i] : gx1[i]]
+            weight = t_block * al
+            color[gy0[i] : gy1[i], gx0[i] : gx1[i]] += (
+                weight[..., None] * colors[i][None, None, :]
+            )
+            trans[gy0[i] : gy1[i], gx0[i] : gx1[i]] = t_block * (1.0 - al)
+
+        stats.gaussians_processed += int(np.count_nonzero(valid[s:e]))
+        stats.blend_ops += int(bbox_areas[s:e].sum())
+
+
 def rasterize_tile(
     framebuffer: Framebuffer,
     projected: ProjectedGaussians,
@@ -300,10 +434,12 @@ def rasterize_tile(
         int(bbox_areas.sum()) < CHUNKED_MIN_COVERAGE * n * tile_area
     ):
         # Sparse large tile: whole-tile batched evaluation would waste most
-        # of its flops on empty pixels; the scalar loop exploits the bboxes.
-        _scalar_blend_range(
-            0, n, px, py, trans, color, means, conics, radii,
-            opacities, colors, valid, termination, stats,
+        # of its flops on empty pixels; the flat-gather path batches only
+        # each splat's own pixels.
+        _sparse_blend_range(
+            px, py, trans, color, means, conics, radii, opacities, colors,
+            valid, gx0, gx1, gy0, gy1, bbox_areas, termination, stats,
+            chunk_size,
         )
         return valid, stats
 
@@ -412,7 +548,7 @@ def rasterize(
     framebuffer = Framebuffer(width=grid.width, height=grid.height, background=background)
     result = RasterResult(image=np.empty(0))
     for tile in range(grid.num_tiles):
-        rows = sorted_tiles.tile_rows[tile]
+        rows = sorted_tiles.rows_for(tile)
         if rows.shape[0] == 0:
             continue
         valid, stats = rasterize_tile(

@@ -131,7 +131,7 @@ def rasterize(
     framebuffer = Framebuffer(width=grid.width, height=grid.height, background=background)
     result = RasterResult(image=np.empty(0))
     for tile in range(grid.num_tiles):
-        rows = sorted_tiles.tile_rows[tile]
+        rows = sorted_tiles.rows_for(tile)
         if rows.shape[0] == 0:
             continue
         valid, stats = rasterize_tile(
@@ -154,14 +154,15 @@ def sort_tiles(assignment: TileAssignment) -> SortedTiles:
     tile_ids: list[np.ndarray] = []
     tile_depths: list[np.ndarray] = []
     proj = assignment.projected
-    for rows in assignment.tile_rows:
+    for tile in range(assignment.num_tiles):
+        rows = assignment.rows_for(tile)
         depths = proj.depths[rows]
         ids = proj.ids[rows]
         order = np.lexsort((ids, depths))
         tile_rows.append(rows[order])
         tile_ids.append(ids[order])
         tile_depths.append(depths[order])
-    return SortedTiles(tile_rows=tile_rows, tile_ids=tile_ids, tile_depths=tile_depths)
+    return SortedTiles.from_tile_lists(tile_rows, tile_ids, tile_depths)
 
 
 def kendall_tau_distance(order_a: np.ndarray, order_b: np.ndarray) -> float:

@@ -5,45 +5,154 @@ ordering computed with numpy's sort.  Neo's reuse-and-update strategies in
 :mod:`repro.core` are validated against it, and the quality experiments
 (Table 2, Fig. 19) compare images rendered with approximate orders against
 images rendered with this exact order.
+
+:class:`SortedTiles` stores the depth-sorted tables in the flat tile-stream
+layout (:class:`~repro.pipeline.tiling.TileStream`): one ``rows`` stream
+plus aligned flat ``ids`` / ``depths`` arrays sharing its offsets.  The old
+per-tile list attributes remain as deprecated shims returning views.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
-from .tiling import TileAssignment
+from .tiling import TileAssignment, TileStream, _warn_deprecated
 
 
-@dataclass
 class SortedTiles:
-    """Depth-sorted per-tile Gaussian lists.
+    """Depth-sorted per-tile Gaussian tables in tile-stream layout.
 
     Attributes
     ----------
-    tile_rows:
-        Entry ``t`` holds row indices into the frame's
-        :class:`ProjectedGaussians`, sorted front-to-back by depth.
-    tile_ids:
-        Entry ``t`` holds the matching global Gaussian IDs (same order).
-    tile_depths:
-        Entry ``t`` holds the matching depths (non-decreasing).
+    stream:
+        :class:`TileStream` of row indices into the frame's
+        :class:`ProjectedGaussians`, sorted front-to-back by depth within
+        each tile.
+    ids:
+        Flat global Gaussian IDs aligned with ``stream.values``.
+    depths:
+        Flat depths aligned with ``stream.values`` (non-decreasing within
+        each tile).
     """
 
-    tile_rows: list[np.ndarray]
-    tile_ids: list[np.ndarray]
-    tile_depths: list[np.ndarray]
+    def __init__(
+        self,
+        stream: TileStream | None = None,
+        ids: np.ndarray | None = None,
+        depths: np.ndarray | None = None,
+        *,
+        tile_rows: list[np.ndarray] | None = None,
+        tile_ids: list[np.ndarray] | None = None,
+        tile_depths: list[np.ndarray] | None = None,
+    ) -> None:
+        legacy = tile_rows is not None or tile_ids is not None or tile_depths is not None
+        if legacy:
+            if stream is not None or ids is not None or depths is not None:
+                raise ValueError("pass either stream/ids/depths or the legacy lists")
+            if tile_rows is None or tile_ids is None or tile_depths is None:
+                raise ValueError("legacy construction needs all three per-tile lists")
+            _warn_deprecated(
+                "SortedTiles(tile_rows=..., tile_ids=..., tile_depths=...)",
+                "SortedTiles(stream=..., ids=..., depths=...) or "
+                "SortedTiles.from_tile_lists(...)",
+            )
+            stream, ids, depths = _from_tile_lists(tile_rows, tile_ids, tile_depths)
+        if stream is None or ids is None or depths is None:
+            raise ValueError("stream, ids, and depths are required")
+        if ids.shape[0] != stream.num_pairs or depths.shape[0] != stream.num_pairs:
+            raise ValueError("ids and depths must align with the stream")
+        self.stream = stream
+        self.ids = ids
+        self.depths = depths
+        self._lists: dict[str, list[np.ndarray]] = {}
 
+    @classmethod
+    def from_tile_lists(
+        cls,
+        tile_rows: list[np.ndarray],
+        tile_ids: list[np.ndarray],
+        tile_depths: list[np.ndarray],
+    ) -> "SortedTiles":
+        """Build from the legacy per-tile list layout (no deprecation)."""
+        stream, ids, depths = _from_tile_lists(tile_rows, tile_ids, tile_depths)
+        return cls(stream=stream, ids=ids, depths=depths)
+
+    # ------------------------------------------------------------------
+    # Stream API
+    # ------------------------------------------------------------------
     @property
     def num_tiles(self) -> int:
         """Number of tiles covered."""
-        return len(self.tile_rows)
+        return self.stream.num_tiles
 
     @property
     def num_pairs(self) -> int:
         """Total tile-Gaussian pairs in the sorted tables."""
-        return int(sum(ids.shape[0] for ids in self.tile_ids))
+        return self.stream.num_pairs
+
+    def counts(self) -> np.ndarray:
+        """Per-tile table lengths."""
+        return self.stream.counts()
+
+    def rows_for(self, tile: int) -> np.ndarray:
+        """Tile ``tile``'s sorted row indices (zero-copy view)."""
+        return self.stream.rows_for(tile)
+
+    def ids_for(self, tile: int) -> np.ndarray:
+        """Tile ``tile``'s sorted global Gaussian IDs (zero-copy view)."""
+        return self.ids[self.stream.offsets[tile] : self.stream.offsets[tile + 1]]
+
+    def depths_for(self, tile: int) -> np.ndarray:
+        """Tile ``tile``'s sorted depths (zero-copy view)."""
+        return self.depths[self.stream.offsets[tile] : self.stream.offsets[tile + 1]]
+
+    # ------------------------------------------------------------------
+    # Deprecated list shims
+    # ------------------------------------------------------------------
+    def _list_shim(self, name: str, flat: np.ndarray) -> list[np.ndarray]:
+        if name not in self._lists:
+            off = self.stream.offsets
+            self._lists[name] = [
+                flat[off[t] : off[t + 1]] for t in range(self.stream.num_tiles)
+            ]
+        return self._lists[name]
+
+    @property
+    def tile_rows(self) -> list[np.ndarray]:
+        """Deprecated list accessor; use :meth:`rows_for` / :attr:`stream`."""
+        _warn_deprecated("SortedTiles.tile_rows", "SortedTiles.rows_for / stream")
+        return self._list_shim("rows", self.stream.values)
+
+    @property
+    def tile_ids(self) -> list[np.ndarray]:
+        """Deprecated list accessor; use :meth:`ids_for` / :attr:`ids`."""
+        _warn_deprecated("SortedTiles.tile_ids", "SortedTiles.ids_for / ids")
+        return self._list_shim("ids", self.ids)
+
+    @property
+    def tile_depths(self) -> list[np.ndarray]:
+        """Deprecated list accessor; use :meth:`depths_for` / :attr:`depths`."""
+        _warn_deprecated("SortedTiles.tile_depths", "SortedTiles.depths_for / depths")
+        return self._list_shim("depths", self.depths)
+
+
+def _from_tile_lists(
+    tile_rows: list[np.ndarray],
+    tile_ids: list[np.ndarray],
+    tile_depths: list[np.ndarray],
+) -> tuple[TileStream, np.ndarray, np.ndarray]:
+    if not (len(tile_rows) == len(tile_ids) == len(tile_depths)):
+        raise ValueError("per-tile lists must have equal length")
+    stream = TileStream.from_lists(tile_rows)
+    if stream.num_pairs:
+        ids = np.concatenate(tile_ids)
+        depths = np.concatenate(tile_depths)
+    else:
+        ids = np.empty(0, dtype=np.int64)
+        depths = np.empty(0, dtype=np.float64)
+    if ids.shape[0] != stream.num_pairs or depths.shape[0] != stream.num_pairs:
+        raise ValueError("per-tile ids/depths must align with rows")
+    return stream, ids, depths
 
 
 def sort_tiles(assignment: TileAssignment) -> SortedTiles:
@@ -55,44 +164,35 @@ def sort_tiles(assignment: TileAssignment) -> SortedTiles:
     All tiles are sorted in *one* concatenated pass instead of a ``lexsort``
     call per tile: the frame's Gaussians are ranked once by ``(depth, ID)``
     (a ``lexsort`` over the ~m projected Gaussians rather than the ~n >> m
-    duplicated pairs), and the pair table is then ordered by the integer key
+    duplicated pairs), and the pair stream is then ordered by the integer key
     ``tile * m + rank`` — unique per pair, since a Gaussian appears at most
     once per tile, so a plain ``argsort`` suffices and no float comparisons
     touch the hot sort.  Within a tile, ordering by rank is ordering by
-    ``(depth, ID)``, so splitting at the tile boundaries reproduces the
-    per-tile loop's arrays exactly — pinned by the golden test against
+    ``(depth, ID)``, so the depth-sorted stream shares the assignment
+    stream's offsets — pinned by the golden test against
     :func:`repro.pipeline.reference.sort_tiles`.
     """
     proj = assignment.projected
     m = len(proj)
-    num_tiles = len(assignment.tile_rows)
-    counts = np.fromiter(
-        (rows.shape[0] for rows in assignment.tile_rows), dtype=np.int64, count=num_tiles
-    )
-    all_rows = (
-        np.concatenate(assignment.tile_rows)
-        if counts.sum()
-        else np.empty(0, dtype=np.int64)
-    )
-    tile_of = np.repeat(np.arange(num_tiles, dtype=np.int64), counts)
+    stream = assignment.stream
+    all_rows = stream.values
+    tile_of = stream.tile_of()
 
     depth_order = np.lexsort((proj.ids, proj.depths))
     rank = np.empty(m, dtype=np.int64)
     rank[depth_order] = np.arange(m, dtype=np.int64)
     pair_ranks = rank[all_rows]
-    if num_tiles * max(m, 1) < np.iinfo(np.int64).max:
+    if stream.num_tiles * max(m, 1) < np.iinfo(np.int64).max:
         order = np.argsort(tile_of * m + pair_ranks)
     else:  # overflow-proof fallback; unreachable for any realistic grid
         order = np.lexsort((pair_ranks, tile_of))
 
     rows_sorted = all_rows[order]
-    ids_sorted = proj.ids[rows_sorted]
-    depths_sorted = proj.depths[rows_sorted]
-    bounds = np.concatenate([[0], np.cumsum(counts)])
-    tile_rows = [rows_sorted[bounds[t] : bounds[t + 1]] for t in range(num_tiles)]
-    tile_ids = [ids_sorted[bounds[t] : bounds[t + 1]] for t in range(num_tiles)]
-    tile_depths = [depths_sorted[bounds[t] : bounds[t + 1]] for t in range(num_tiles)]
-    return SortedTiles(tile_rows=tile_rows, tile_ids=tile_ids, tile_depths=tile_depths)
+    return SortedTiles(
+        stream=stream.with_values(rows_sorted),
+        ids=proj.ids[rows_sorted],
+        depths=proj.depths[rows_sorted],
+    )
 
 
 def is_depth_sorted(depths: np.ndarray, tolerance: float = 0.0) -> bool:

@@ -5,11 +5,24 @@ Gaussian into each tile its bounding box overlaps (paper section 2.4).  The
 per-tile (Gaussian ID, depth) lists produced here are the input to all
 sorting strategies, and the tile-Gaussian *pair count* is the quantity that
 drives the sorting stage's DRAM traffic in the hardware model.
+
+**Tile-stream layout.**  Per-tile data is stored as one flat
+:class:`TileStream` — a ``values`` array holding every tile-Gaussian pair
+grouped by tile, plus a ``num_tiles + 1`` ``offsets`` array marking the
+segment boundaries (the CRS/CSR idiom).  Tile ``t``'s entries are
+``values[offsets[t]:offsets[t + 1]]``, a zero-copy view.  Every per-tile
+loop in the pipeline becomes a segmented array program over this layout;
+the old list-of-arrays accessors survive as deprecated shims returning
+views into the stream (see the README migration table — they are scheduled
+for removal one release after 2026-08).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+
+from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -22,12 +35,20 @@ NEO_TILE_SIZE = 64
 #: Tile edge used by the reference CUDA 3DGS rasterizer.
 GPU_TILE_SIZE = 16
 
-#: Shared immutable empty row list: tiles with no Gaussians all reference
-#: this one array instead of allocating ``num_tiles`` fresh empties per
-#: frame (QHD at 16 px tiles is ~14k tiles; empty frames are common in
-#: teleport/shake stress trajectories).
-_EMPTY_ROWS = np.empty(0, dtype=np.int64)
-_EMPTY_ROWS.setflags(write=False)
+#: Per-tile keys are packed as ``tile * _KEY_SHIFT + key`` for segmented set
+#: operations; keys must therefore fit in ``[0, 2^32)`` (global Gaussian IDs
+#: do by construction, matching the hardware's 32-bit ID field).
+_KEY_SHIFT = np.int64(1) << 32
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated and scheduled for removal one release after "
+        f"2026-08; use {new} instead (see the README tile-stream migration "
+        "table)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -84,46 +105,261 @@ class TileGrid:
         return TileGrid(width=camera.width, height=camera.height, tile_size=tile_size)
 
 
+@dataclass(frozen=True)
+class SegmentIntersection:
+    """Per-tile set intersection of two :class:`TileStream` key sets.
+
+    Entries are ordered by ``(tile, key)`` ascending — per tile, exactly the
+    order ``np.intersect1d`` returns.  ``offsets`` delimits the per-tile
+    segments; ``self_indices`` / ``other_indices`` locate each shared key in
+    the two streams' flat arrays.
+    """
+
+    offsets: np.ndarray
+    keys: np.ndarray
+    self_indices: np.ndarray
+    other_indices: np.ndarray
+
+    @property
+    def num_shared(self) -> int:
+        """Total shared keys across all tiles."""
+        return self.keys.shape[0]
+
+    def counts(self) -> np.ndarray:
+        """Shared keys per tile, shape ``(num_tiles,)``."""
+        return np.diff(self.offsets)
+
+
+@dataclass(frozen=True)
+class TileStream:
+    """Flat ``values + offsets`` (SoA) layout for per-tile data.
+
+    Attributes
+    ----------
+    num_tiles:
+        Number of segments (tiles) the stream covers.
+    values:
+        All per-pair payloads, grouped by tile; shape ``(num_pairs,)``.
+    offsets:
+        Segment boundaries, shape ``(num_tiles + 1,)``; tile ``t`` owns
+        ``values[offsets[t]:offsets[t + 1]]``.
+    """
+
+    num_tiles: int
+    values: np.ndarray
+    offsets: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.offsets.shape[0] != self.num_tiles + 1:
+            raise ValueError("offsets must have num_tiles + 1 entries")
+        if self.num_tiles and (
+            self.offsets[0] != 0
+            or self.offsets[-1] != self.values.shape[0]
+            or np.any(np.diff(self.offsets) < 0)
+        ):
+            raise ValueError("offsets must grow monotonically from 0 to len(values)")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, num_tiles: int, dtype=np.int64) -> "TileStream":
+        """A stream of ``num_tiles`` empty segments."""
+        return cls(
+            num_tiles=num_tiles,
+            values=np.empty(0, dtype=dtype),
+            offsets=np.zeros(num_tiles + 1, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_pairs(
+        cls, tiles: np.ndarray, values: np.ndarray, num_tiles: int
+    ) -> "TileStream":
+        """Build a stream from parallel ``(tile, value)`` pair arrays.
+
+        Pairs are grouped by tile with a *stable* sort, so ties preserve the
+        input pair order within each tile.
+        """
+        if tiles.shape[0] == 0:
+            return cls.empty(num_tiles, dtype=values.dtype)
+        order = np.argsort(tiles, kind="stable")
+        tiles_sorted = tiles[order]
+        offsets = np.searchsorted(tiles_sorted, np.arange(num_tiles + 1))
+        return cls(num_tiles=num_tiles, values=values[order], offsets=offsets)
+
+    @classmethod
+    def from_lists(cls, per_tile: list[np.ndarray], dtype=np.int64) -> "TileStream":
+        """Build a stream from the legacy list-of-arrays layout."""
+        num_tiles = len(per_tile)
+        counts = np.fromiter(
+            (a.shape[0] for a in per_tile), dtype=np.int64, count=num_tiles
+        )
+        offsets = np.zeros(num_tiles + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        values = (
+            np.concatenate(per_tile) if int(counts.sum()) else np.empty(0, dtype=dtype)
+        )
+        return cls(num_tiles=num_tiles, values=values, offsets=offsets)
+
+    # ------------------------------------------------------------------
+    # Shape queries
+    # ------------------------------------------------------------------
+    @property
+    def num_pairs(self) -> int:
+        """Total entries across all tiles."""
+        return int(self.values.shape[0])
+
+    def counts(self) -> np.ndarray:
+        """Per-tile entry counts, shape ``(num_tiles,)``."""
+        return np.diff(self.offsets)
+
+    def tile_of(self) -> np.ndarray:
+        """Owning tile of every entry, shape ``(num_pairs,)``."""
+        return np.repeat(np.arange(self.num_tiles, dtype=np.int64), self.counts())
+
+    def nonempty(self) -> np.ndarray:
+        """Indices of tiles with at least one entry."""
+        return np.flatnonzero(self.offsets[1:] > self.offsets[:-1])
+
+    # ------------------------------------------------------------------
+    # Per-tile access
+    # ------------------------------------------------------------------
+    def rows_for(self, tile: int) -> np.ndarray:
+        """Tile ``tile``'s entries — a zero-copy view into ``values``."""
+        return self.values[self.offsets[tile] : self.offsets[tile + 1]]
+
+    def per_tile(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Iterate ``(tile, values_view)`` over every tile (compat helper)."""
+        for tile in range(self.num_tiles):
+            yield tile, self.values[self.offsets[tile] : self.offsets[tile + 1]]
+
+    def to_lists(self) -> list[np.ndarray]:
+        """Materialize the legacy list-of-views layout."""
+        return [view for _, view in self.per_tile()]
+
+    def with_values(self, values: np.ndarray) -> "TileStream":
+        """A stream with the same segmentation over a different payload."""
+        if values.shape[0] != self.values.shape[0]:
+            raise ValueError("replacement values must align with the stream")
+        return TileStream(num_tiles=self.num_tiles, values=values, offsets=self.offsets)
+
+    # ------------------------------------------------------------------
+    # Segmented algorithms
+    # ------------------------------------------------------------------
+    def segment_reduce(self, data: np.ndarray, ufunc=np.add, initial=0) -> np.ndarray:
+        """Reduce ``data`` (aligned with ``values``) per tile with ``ufunc``.
+
+        Empty tiles yield ``initial``.  Reduction order within a tile is
+        ``ufunc.reduceat``'s left-to-right pairing over the segment.
+        """
+        if data.shape[0] != self.values.shape[0]:
+            raise ValueError("data must align with the stream's values")
+        out = np.full(self.num_tiles, initial, dtype=np.result_type(data, initial))
+        starts = self.offsets[:-1]
+        mask = starts < self.offsets[1:]
+        if data.shape[0] and np.any(mask):
+            out[mask] = ufunc.reduceat(data, starts[mask])
+        return out
+
+    def segment_intersect(
+        self, keys: np.ndarray, other: "TileStream", other_keys: np.ndarray
+    ) -> SegmentIntersection:
+        """Per-tile set intersection of two streams' key sets.
+
+        ``keys`` / ``other_keys`` align with the streams' ``values`` and must
+        be unique *within each tile* (the ``assume_unique`` contract of
+        ``np.intersect1d``) and lie in ``[0, 2^32)``.  The result lists every
+        key present in both streams' copies of a tile, ordered by
+        ``(tile, key)`` — per tile, exactly ``np.intersect1d``'s output.
+        """
+        if other.num_tiles != self.num_tiles:
+            raise ValueError("streams must cover the same tile count")
+        if keys.shape[0] != self.values.shape[0] or (
+            other_keys.shape[0] != other.values.shape[0]
+        ):
+            raise ValueError("keys must align with the streams' values")
+        ka = self.tile_of() * _KEY_SHIFT + keys
+        kb = other.tile_of() * _KEY_SHIFT + other_keys
+        order_a = np.argsort(ka, kind="stable")
+        order_b = np.argsort(kb, kind="stable")
+        sa = ka[order_a]
+        sb = kb[order_b]
+        if sb.shape[0]:
+            pos = np.searchsorted(sb, sa)
+            safe = np.minimum(pos, sb.shape[0] - 1)
+            mask = (pos < sb.shape[0]) & (sb[safe] == sa)
+        else:
+            pos = np.zeros(sa.shape[0], dtype=np.int64)
+            mask = np.zeros(sa.shape[0], dtype=bool)
+        shared = sa[mask]
+        tiles_shared = shared >> 32
+        offsets = np.searchsorted(tiles_shared, np.arange(self.num_tiles + 1))
+        return SegmentIntersection(
+            offsets=offsets,
+            keys=shared - (tiles_shared << 32),
+            self_indices=order_a[mask],
+            other_indices=order_b[pos[mask]],
+        )
+
+
 @dataclass
 class TileAssignment:
-    """Per-tile Gaussian lists produced by duplication.
+    """Per-tile Gaussian membership produced by duplication.
 
     Attributes
     ----------
     grid:
         The tile grid the assignment refers to.
-    tile_rows:
-        List of length ``grid.num_tiles``; entry ``t`` holds row indices into
-        the :class:`ProjectedGaussians` arrays for Gaussians overlapping tile
-        ``t`` (in projection order, *unsorted* by depth).
+    stream:
+        :class:`TileStream` whose values are row indices into the
+        :class:`ProjectedGaussians` arrays, grouped by tile (in projection
+        order within each tile, *unsorted* by depth).
     projected:
         The projected Gaussians the rows refer to.
     """
 
     grid: TileGrid
-    tile_rows: list[np.ndarray]
+    stream: TileStream
     projected: ProjectedGaussians
+    _rows_list: list[np.ndarray] | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def num_tiles(self) -> int:
+        """Tiles covered by the assignment."""
+        return self.stream.num_tiles
 
     @property
     def num_pairs(self) -> int:
         """Total tile-Gaussian pairs (duplication count), the key workload stat."""
-        return int(sum(rows.shape[0] for rows in self.tile_rows))
+        return self.stream.num_pairs
+
+    def rows_for(self, tile: int) -> np.ndarray:
+        """Row indices assigned to ``tile`` (zero-copy view)."""
+        return self.stream.rows_for(tile)
 
     def tile_ids(self, tile: int) -> np.ndarray:
         """Global Gaussian IDs assigned to ``tile``."""
-        return self.projected.ids[self.tile_rows[tile]]
+        return self.projected.ids[self.stream.rows_for(tile)]
 
     def tile_depths(self, tile: int) -> np.ndarray:
         """Depths of the Gaussians assigned to ``tile``."""
-        return self.projected.depths[self.tile_rows[tile]]
+        return self.projected.depths[self.stream.rows_for(tile)]
 
     def occupancy(self) -> np.ndarray:
         """Per-tile Gaussian counts, shape ``(num_tiles,)``."""
-        return np.array([rows.shape[0] for rows in self.tile_rows], dtype=np.int64)
+        return self.stream.counts()
 
     def nonempty_tiles(self) -> np.ndarray:
         """Indices of tiles with at least one Gaussian."""
-        return np.flatnonzero(self.occupancy() > 0)
+        return self.stream.nonempty()
+
+    @property
+    def tile_rows(self) -> list[np.ndarray]:
+        """Deprecated list-of-arrays accessor; use :attr:`stream` instead."""
+        _warn_deprecated("TileAssignment.tile_rows", "TileAssignment.stream / rows_for")
+        if self._rows_list is None:
+            self._rows_list = self.stream.to_lists()
+        return self._rows_list
 
 
 def tile_ranges(
@@ -158,7 +394,7 @@ def assign_to_tiles(projected: ProjectedGaussians, grid: TileGrid) -> TileAssign
     m = len(projected)
     if m == 0:
         return TileAssignment(
-            grid=grid, tile_rows=[_EMPTY_ROWS] * grid.num_tiles, projected=projected
+            grid=grid, stream=TileStream.empty(grid.num_tiles), projected=projected
         )
 
     tx0, tx1, ty0, ty1 = tile_ranges(projected, grid)
@@ -191,21 +427,8 @@ def assign_to_tiles(projected: ProjectedGaussians, grid: TileGrid) -> TileAssign
     tiles = tiles[overlap]
     rows = rows[overlap]
 
-    if rows.shape[0] == 0:
-        # Every splat was culled by the exact circle test: skip the sort and
-        # share one empty row array across all tiles.
-        return TileAssignment(
-            grid=grid, tile_rows=[_EMPTY_ROWS] * grid.num_tiles, projected=projected
-        )
-
-    order = np.argsort(tiles, kind="stable")
-    tiles_sorted = tiles[order]
-    rows_sorted = rows[order]
-    boundaries = np.searchsorted(tiles_sorted, np.arange(grid.num_tiles + 1))
-    tile_rows = [
-        rows_sorted[boundaries[t] : boundaries[t + 1]]
-        if boundaries[t + 1] > boundaries[t]
-        else _EMPTY_ROWS
-        for t in range(grid.num_tiles)
-    ]
-    return TileAssignment(grid=grid, tile_rows=tile_rows, projected=projected)
+    # The stable group-by-tile *is* the stream construction: offsets fall out
+    # of one searchsorted over the sorted tile column — no per-tile list
+    # build.
+    stream = TileStream.from_pairs(tiles, rows, grid.num_tiles)
+    return TileAssignment(grid=grid, stream=stream, projected=projected)

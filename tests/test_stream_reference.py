@@ -1,0 +1,230 @@
+"""Golden bit-identity tests for the tile-stream converted hw/metrics paths.
+
+Each converted segmented program is cross-checked against its frozen scalar
+pin (:mod:`repro.hw.reference` / :mod:`repro.metrics.reference` /
+:mod:`repro.pipeline.reference`) — arrays must match *bit for bit*, not
+approximately.  The pipeline rasterizer/sorting equivalents live in
+``tests/test_raster_reference.py``; this file covers the workload queries,
+the similarity metric, the engine simulators, and the sparse-raster gather.
+"""
+
+import numpy as np
+import pytest
+
+import repro.hw.reference as hw_ref
+import repro.metrics.reference as metrics_ref
+import repro.pipeline.reference as pipeline_ref
+from repro.hw.raster_engine import RasterEngineSim
+from repro.hw.sorting_engine import SortingEngineSim, jobs_from_occupancy
+from repro.hw.workload import WorkloadModel
+from repro.metrics.similarity import frame_similarity
+from repro.pipeline.framebuffer import Framebuffer
+from repro.pipeline.projection import ProjectedGaussians
+from repro.pipeline.rasterizer import rasterize_tile
+from repro.pipeline.sorting import sort_tiles
+from repro.pipeline.tiling import TileGrid, assign_to_tiles
+
+
+@pytest.fixture(scope="module")
+def workload_model():
+    return WorkloadModel.from_scene("family", num_frames=3, num_gaussians=1200)
+
+
+CONFIGS = [((160, 90), 32), ((320, 180), 64)]
+
+
+class TestWorkloadQueries:
+    @pytest.mark.parametrize("resolution,tile_size", CONFIGS)
+    def test_pair_keys_match(self, workload_model, resolution, tile_size):
+        for frame in range(workload_model.num_frames):
+            scalar = hw_ref.scalar_pair_keys(
+                workload_model, frame, resolution, tile_size
+            )
+            width, height = workload_model._resolve(resolution)
+            stream_keys = workload_model._pair_keys(frame, (width, height), tile_size)
+            # The stream groups pairs by tile; the key *set* is unchanged.
+            np.testing.assert_array_equal(np.sort(stream_keys), np.sort(scalar))
+
+    @pytest.mark.parametrize("resolution,tile_size", CONFIGS)
+    def test_churn_counts_match(self, workload_model, resolution, tile_size):
+        width, height = workload_model._resolve(resolution)
+        for frame in range(workload_model.num_frames):
+            assert workload_model._churn_counts(
+                frame, (width, height), tile_size
+            ) == hw_ref.scalar_churn_counts(workload_model, frame, resolution, tile_size)
+
+    @pytest.mark.parametrize("resolution,tile_size", CONFIGS)
+    def test_shared_fraction_bit_identical(self, workload_model, resolution, tile_size):
+        for frame in range(1, workload_model.num_frames):
+            np.testing.assert_array_equal(
+                workload_model.shared_fraction_per_tile(frame, resolution, tile_size),
+                hw_ref.scalar_shared_fraction_per_tile(
+                    workload_model, frame, resolution, tile_size
+                ),
+            )
+
+    @pytest.mark.parametrize("resolution,tile_size", CONFIGS)
+    def test_order_differences_bit_identical(self, workload_model, resolution, tile_size):
+        for frame in range(1, workload_model.num_frames):
+            np.testing.assert_array_equal(
+                workload_model.order_differences(frame, resolution, tile_size),
+                hw_ref.scalar_order_differences(
+                    workload_model, frame, resolution, tile_size
+                ),
+            )
+
+
+class TestFrameSimilarity:
+    def _sorted_frames(self, seed):
+        rng = np.random.default_rng(seed)
+        grid = TileGrid(width=96, height=96, tile_size=16)
+
+        def frame(n, id_pool):
+            ids = rng.choice(id_pool, size=n, replace=False)
+            return ProjectedGaussians(
+                ids=np.sort(ids),
+                means2d=np.column_stack(
+                    [rng.uniform(-4, 100, n), rng.uniform(-4, 100, n)]
+                ),
+                cov2d=np.tile(np.eye(2), (n, 1, 1)),
+                conic=np.tile(np.array([1.0, 0.0, 1.0]), (n, 1)),
+                depths=rng.uniform(0.1, 10.0, n),
+                radii=rng.uniform(1.0, 10.0, n),
+                colors=np.full((n, 3), 0.5),
+                opacities=np.full(n, 0.9),
+            )
+
+        pool = np.arange(400)
+        prev = sort_tiles(assign_to_tiles(frame(250, pool), grid))
+        cur = sort_tiles(assign_to_tiles(frame(250, pool), grid))
+        return prev, cur
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_bit_identical_to_loop(self, seed):
+        prev, cur = self._sorted_frames(seed)
+        fast = frame_similarity(prev, cur)
+        slow = metrics_ref.frame_similarity(prev, cur)
+        np.testing.assert_array_equal(fast.shared_fractions, slow.shared_fractions)
+        np.testing.assert_array_equal(fast.order_differences, slow.order_differences)
+
+
+class TestRasterEngineSim:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_report_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        sim = RasterEngineSim()
+        n = int(rng.integers(1, 200))
+        gaussians = rng.integers(0, 500, size=n).tolist()
+        hits = [int(rng.integers(0, 64 * g + 1)) if g else 0 for g in gaussians]
+
+        fast = sim.simulate_frame(gaussians, hits)
+        slow = hw_ref.scalar_raster_engine_frame(sim, gaussians, hits)
+        assert fast.total_cycles == slow.total_cycles
+        assert fast.tiles == slow.tiles
+        assert fast.scu_cycles == slow.scu_cycles
+        assert fast.itu_cycles == slow.itu_cycles
+        for name in (
+            "tile_total_cycles",
+            "tile_itu_cycles",
+            "tile_scu_cycles",
+            "tile_itu_idle_cycles",
+            "tile_scu_stall_cycles",
+        ):
+            np.testing.assert_array_equal(getattr(fast, name), getattr(slow, name))
+        assert fast.mean_pipeline_efficiency == slow.mean_pipeline_efficiency
+
+    def test_empty_frame(self):
+        sim = RasterEngineSim()
+        report = sim.simulate_frame([0, 0], [0, 0])
+        assert report.total_cycles == 0.0
+        assert report.tiles == 0
+
+
+class TestSortingEngineSim:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_report_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        sim = SortingEngineSim()
+        occupancy = rng.integers(0, 1500, size=int(rng.integers(1, 300)))
+        occupancy[rng.random(occupancy.shape[0]) < 0.3] = 0
+
+        jobs = jobs_from_occupancy(occupancy, sim.config.chunk_size)
+        assert jobs == hw_ref.scalar_jobs_from_occupancy(
+            occupancy, sim.config.chunk_size
+        )
+
+        fast = sim.simulate_frame(occupancy)
+        slow = hw_ref.scalar_sorting_engine_simulate(sim, jobs)
+        assert fast.total_cycles == slow.total_cycles
+        assert fast.compute_cycles == slow.compute_cycles
+        assert fast.dram_busy_cycles == slow.dram_busy_cycles
+        assert fast.chunks == slow.chunks
+        assert fast.entries == slow.entries
+        assert fast.cores == slow.cores
+
+    def test_simulate_jobs_path_matches_frame_path(self):
+        sim = SortingEngineSim()
+        occupancy = [300, 0, 17, 256, 512, 1]
+        by_jobs = sim.simulate(jobs_from_occupancy(occupancy, sim.config.chunk_size))
+        by_frame = sim.simulate_frame(occupancy)
+        assert by_jobs == by_frame
+
+
+class TestSparseRasterPath:
+    """The flat bbox-gather path on sparse 64 px tiles, incl. termination."""
+
+    def _layered_proj(self, rng, layers, opac_lo=0.9, opac_hi=0.99, tile=64):
+        # A grid of small opaque splats covering the tile in several layers:
+        # coverage stays far below CHUNKED_MIN_COVERAGE (sparse dispatch)
+        # while transmittance still collapses, forcing mid-stream termination.
+        grid = np.array(
+            [(x, y) for y in range(4, tile, 8) for x in range(4, tile, 8)],
+            dtype=np.float64,
+        )
+        means = np.tile(grid, (layers, 1)) + rng.normal(
+            0, 0.6, (grid.shape[0] * layers, 2)
+        )
+        m = means.shape[0]
+        a = rng.uniform(0.01, 0.05, m)
+        c = rng.uniform(0.01, 0.05, m)
+        return ProjectedGaussians(
+            ids=np.arange(m, dtype=np.int64),
+            means2d=means,
+            cov2d=np.tile(np.eye(2), (m, 1, 1)),
+            conic=np.column_stack([a, np.zeros(m), c]),
+            depths=rng.uniform(0.1, 10.0, m),
+            radii=rng.uniform(5.0, 7.0, m),
+            colors=rng.uniform(0, 1, (m, 3)),
+            opacities=rng.uniform(opac_lo, opac_hi, m),
+        )
+
+    @pytest.mark.parametrize("seed,termination,chunk", [
+        (0, 1e-4, 64),
+        (1, 0.05, 16),
+        (2, 0.2, 8),
+        (3, 0.01, 1),
+    ])
+    def test_bit_identical_with_termination(self, seed, termination, chunk):
+        rng = np.random.default_rng(seed)
+        proj = self._layered_proj(rng, layers=int(rng.integers(4, 10)))
+        tile = 64
+        rows = np.arange(proj.ids.shape[0])
+        bounds = (0, 0, tile, tile)
+
+        fb_ref = Framebuffer(width=tile, height=tile)
+        fb_new = Framebuffer(width=tile, height=tile)
+        v_ref, s_ref = pipeline_ref.rasterize_tile(
+            fb_ref, proj, rows, bounds, termination=termination
+        )
+        v_new, s_new = rasterize_tile(
+            fb_new, proj, rows, bounds, termination=termination, chunk_size=chunk
+        )
+
+        np.testing.assert_array_equal(v_new, v_ref)
+        np.testing.assert_array_equal(fb_new.color, fb_ref.color)
+        np.testing.assert_array_equal(fb_new.transmittance, fb_ref.transmittance)
+        assert s_new.gaussians_processed == s_ref.gaussians_processed
+        assert s_new.blend_ops == s_ref.blend_ops
+        assert s_new.early_terminated_tiles == s_ref.early_terminated_tiles
+        assert s_new.subtile_tests == s_ref.subtile_tests
+        assert s_new.subtile_hits == s_ref.subtile_hits
