@@ -7,6 +7,14 @@ This script closes that gap: it diffs a fresh ``BENCH_pipeline.json``
 against the committed baseline and exits nonzero when any recorded
 speedup regressed by more than ``--max-regression`` (default 25%).
 
+Benchmarks that record ``detail.stage_seconds`` (render_sequence) are also
+compared stage by stage, so a rasterization regression cannot hide behind
+a sorting win that keeps the *total* speedup flat: each stage's
+baseline-over-stage-time ratio is gated at ``--max-stage-regression``, and
+the failure message names the regressed stage.  Stages below
+``--min-stage-share`` of the run's stage time are reported info-only —
+their timings are noise-dominated.
+
 Benchmarks present only in the fresh run (newly added, baseline not yet
 refreshed) pass with a note; benchmarks missing from the fresh run fail —
 a silently dropped benchmark is exactly the regression this gate exists
@@ -32,8 +40,75 @@ def load_benchmarks(path: str) -> dict[str, dict]:
     return {bench["name"]: bench for bench in report.get("benchmarks", [])}
 
 
+def _stage_speedups(bench: dict) -> dict[str, tuple[float, float]]:
+    """Per-stage ``(speedup, share)`` from a benchmark's ``stage_seconds``.
+
+    Stage times come from the optimized run only, so the raw seconds are not
+    comparable across machines or quick/full workload sizes.  The quantity
+    that *is* comparable — like the total-speedup ratio — is the same-run
+    ratio of the scalar baseline's wall time to each stage's time: both
+    scale with the machine and the frame count, so a stage only moves this
+    number by getting slower (or faster) relative to the frozen reference.
+    ``share`` is the stage's fraction of the summed stage time, used to
+    exempt tiny stages whose timings are noise-dominated.
+    """
+    stages = bench.get("detail", {}).get("stage_seconds")
+    if not isinstance(stages, dict):
+        return {}
+    timed = {
+        name: float(seconds)
+        for name, seconds in stages.items()
+        if name != "total_s" and float(seconds) > 0.0
+    }
+    total = sum(timed.values())
+    baseline_s = float(bench["baseline_ms"]) / 1e3
+    if total <= 0.0 or baseline_s <= 0.0:
+        return {}
+    return {
+        name: (baseline_s / seconds, seconds / total)
+        for name, seconds in timed.items()
+    }
+
+
+def compare_stages(
+    base: dict, fresh: dict, max_stage_regression: float, min_stage_share: float
+) -> tuple[list[str], list[str]]:
+    """Per-stage trend lines plus the names of regressed stages.
+
+    Only stages carrying at least ``min_stage_share`` of the baseline's
+    stage time can fail the gate; smaller stages are reported info-only so
+    a sub-millisecond sort stage cannot flake CI, and a regression in the
+    dominant rasterization stage cannot hide behind a win elsewhere.
+    """
+    base_stages = _stage_speedups(base)
+    fresh_stages = _stage_speedups(fresh)
+    lines: list[str] = []
+    regressed: list[str] = []
+    for stage, (base_speedup, base_share) in base_stages.items():
+        if stage not in fresh_stages:
+            lines.append(f"  stage {stage:12s} MISSING from fresh run")
+            regressed.append(stage)
+            continue
+        fresh_speedup, _ = fresh_stages[stage]
+        ratio = fresh_speedup / base_speedup
+        gated = base_share >= min_stage_share
+        status = "ok" if gated else f"info only ({base_share:.1%} of stage time)"
+        if gated and ratio < 1.0 - max_stage_regression:
+            status = f"REGRESSED >{max_stage_regression:.0%}"
+            regressed.append(stage)
+        lines.append(
+            f"  stage {stage:12s} baseline {base_speedup:7.2f}x   "
+            f"fresh {fresh_speedup:7.2f}x   ({ratio:6.1%})  [{status}]"
+        )
+    return lines, regressed
+
+
 def compare(
-    baseline: dict[str, dict], fresh: dict[str, dict], max_regression: float
+    baseline: dict[str, dict],
+    fresh: dict[str, dict],
+    max_regression: float,
+    max_stage_regression: float = 0.5,
+    min_stage_share: float = 0.05,
 ) -> tuple[list[str], bool]:
     """Per-benchmark trend lines plus an overall pass verdict."""
     lines = []
@@ -54,6 +129,16 @@ def compare(
             f"{name:18s} baseline {base_speedup:5.2f}x   fresh {fresh_speedup:5.2f}x   "
             f"({ratio:6.1%} of baseline)  [{status}]"
         )
+        stage_lines, regressed_stages = compare_stages(
+            base, fresh[name], max_stage_regression, min_stage_share
+        )
+        lines.extend(stage_lines)
+        if regressed_stages:
+            ok = False
+            lines.append(
+                f"  -> {name}: stage(s) {', '.join(regressed_stages)} regressed "
+                "even though the total may still pass"
+            )
     for name, bench in fresh.items():
         if name not in baseline:
             lines.append(
@@ -76,6 +161,17 @@ def main(argv: list[str] | None = None) -> int:
         "--max-regression", type=float, default=0.25,
         help="maximum allowed fractional speedup loss vs baseline (default 0.25)",
     )
+    parser.add_argument(
+        "--max-stage-regression", type=float, default=0.5,
+        help="maximum allowed fractional per-stage speedup loss for benchmarks "
+             "that record stage_seconds (default 0.5; looser than the total "
+             "gate because single-stage timings are noisier)",
+    )
+    parser.add_argument(
+        "--min-stage-share", type=float, default=0.05,
+        help="stages below this fraction of the baseline's stage time are "
+             "reported but never gate (default 0.05)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -88,7 +184,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: no benchmarks in baseline {args.baseline!r}", file=sys.stderr)
         return 2
 
-    lines, ok = compare(baseline, fresh, args.max_regression)
+    lines, ok = compare(
+        baseline,
+        fresh,
+        args.max_regression,
+        args.max_stage_regression,
+        args.min_stage_share,
+    )
     print(f"bench trend vs {args.baseline} (max regression {args.max_regression:.0%}):")
     for line in lines:
         print(f"  {line}")

@@ -1,0 +1,39 @@
+"""Pluggable array backend (`xp`) for the vectorized cores.
+
+See :mod:`repro.backend.dispatch` for the design; the README "Backends"
+section documents the user-facing contract.
+"""
+
+from .dispatch import (
+    CORE_REQUIREMENTS,
+    FALLBACK_BACKEND,
+    OP_SIGNATURES,
+    Backend,
+    ResolvedOps,
+    active_backend,
+    backend_names,
+    core_ops,
+    get_backend,
+    register_backend,
+    resolution_table,
+    set_active,
+    unregister_backend,
+    use_backend,
+)
+
+__all__ = [
+    "CORE_REQUIREMENTS",
+    "FALLBACK_BACKEND",
+    "OP_SIGNATURES",
+    "Backend",
+    "ResolvedOps",
+    "active_backend",
+    "backend_names",
+    "core_ops",
+    "get_backend",
+    "register_backend",
+    "resolution_table",
+    "set_active",
+    "unregister_backend",
+    "use_backend",
+]

@@ -1,0 +1,247 @@
+"""Capability registry and per-op fallback dispatch for array backends.
+
+The hot cores (rasterizer, tile stream, sorting, system models) are pure
+batched array programs.  This module lets them run on interchangeable
+array backends without giving up the NumPy path's bit-identity contract:
+
+* Every backend is a :class:`Backend` — a name, an availability flag, and
+  a dict of implementations for ops drawn from one shared vocabulary
+  (:data:`OP_SIGNATURES`).  All implementations take and return host
+  (NumPy) arrays, so backends compose freely at op granularity.
+* Each core declares the ops it needs once, at import, via
+  :func:`core_ops`.  Resolution happens against the *active* backend on
+  every use: an op the backend implements dispatches natively, an op it
+  lacks falls back to the NumPy implementation — **per function, never
+  per process**, mirroring the related GS renderer's
+  ``render_gsplat -> render_points_fast`` fallback chain.
+* A backend that is not importable at all (e.g. Torch absent) can still
+  be activated; every op then resolves to the NumPy fallback and results
+  stay bit-identical to the default path.
+
+The NumPy backend's ops are the exact calls the cores made before this
+shim existed, so the default configuration *is* the frozen-reference
+execution, not an approximation of it.  Non-NumPy backends are validated
+against it within tolerance (see the README "Backends" section).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+#: The op vocabulary: name -> signature summary.  Cores may only declare
+#: ops listed here, and ``repro backends show`` prints this table with the
+#: per-backend resolution next to it.  All signatures are NumPy-semantics;
+#: implementations take and return host arrays.
+OP_SIGNATURES: dict[str, str] = {
+    "argsort": "argsort(a, kind=None) -> sorting indices",
+    "lexsort": "lexsort(keys) -> indices (last key primary)",
+    "sort": "sort(a, axis=-1) -> sorted copy",
+    "searchsorted": "searchsorted(sorted, values, side='left') -> insert positions",
+    "cumsum": "cumsum(a, out=None) -> inclusive prefix sums",
+    "repeat": "repeat(a, repeats) -> elements repeated per count",
+    "reduceat": "reduceat(data, starts, ufunc) -> per-segment reduction",
+    "accumulate_multiply": "accumulate_multiply(a, axis=0, out=None) -> running product",
+    "accumulate_add": "accumulate_add(a, axis=0, out=None) -> running sum",
+    "exp": "exp(x) -> e**x elementwise",
+    "minimum": "minimum(a, b) -> elementwise minimum",
+    "maximum": "maximum(a, b) -> elementwise maximum",
+    "where": "where(cond, a, b) -> elementwise select",
+    "clip": "clip(a, lo, hi) -> values bounded into [lo, hi]",
+    "frexp": "frexp(x) -> (mantissa, exponent)",
+}
+
+#: The backend every missing op resolves to.  Always available.
+FALLBACK_BACKEND = "numpy"
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One registered array backend.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"numpy"``, ``"torch"``, ...).
+    available:
+        Whether the backend's runtime imported successfully.  Unavailable
+        backends still activate — their ops simply all fall back.
+    detail:
+        Version string when available, otherwise the reason it is not.
+    ops:
+        Op name -> implementation; host arrays in, host arrays out.  Keys
+        must come from :data:`OP_SIGNATURES`.
+    """
+
+    name: str
+    available: bool
+    detail: str
+    ops: dict[str, Callable] = field(repr=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = [name for name in self.ops if name not in OP_SIGNATURES]
+        if unknown:
+            raise KeyError(
+                f"backend {self.name!r} implements ops outside the vocabulary: "
+                f"{unknown}; known ops: {list(OP_SIGNATURES)}"
+            )
+
+    def native_ops(self) -> tuple[str, ...]:
+        """Ops this backend implements itself, in vocabulary order."""
+        return tuple(name for name in OP_SIGNATURES if name in self.ops)
+
+
+_FACTORIES: dict[str, Callable[[], Backend]] = {}
+_BACKENDS: dict[str, Backend] = {}
+_active: str = FALLBACK_BACKEND
+
+#: Core name -> the ops it declared via :func:`core_ops` (what ``repro
+#: backends show`` uses to print per-core dispatch tables).
+CORE_REQUIREMENTS: dict[str, tuple[str, ...]] = {}
+
+_RESOLVED: dict[tuple[str, str], "ResolvedOps"] = {}
+
+
+def _ensure_builtin() -> None:
+    if FALLBACK_BACKEND in _FACTORIES:
+        return
+    from .numpy_backend import build as build_numpy
+    from .torch_backend import build as build_torch
+
+    _FACTORIES[FALLBACK_BACKEND] = build_numpy
+    _FACTORIES["torch"] = build_torch
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register a backend factory (lazily invoked on first use)."""
+    _ensure_builtin()
+    if name in _FACTORIES:
+        raise ValueError(f"backend {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (primarily for tests).
+
+    The built-in fallback cannot be removed; removing the active backend
+    reverts activation to the fallback.
+    """
+    global _active
+    if name == FALLBACK_BACKEND:
+        raise ValueError("the numpy fallback backend cannot be unregistered")
+    _FACTORIES.pop(name, None)
+    _BACKENDS.pop(name, None)
+    for key in [k for k in _RESOLVED if k[1] == name]:
+        del _RESOLVED[key]
+    if _active == name:
+        _active = FALLBACK_BACKEND
+
+
+def backend_names() -> tuple[str, ...]:
+    """All registered backend names, fallback first."""
+    _ensure_builtin()
+    return tuple(_FACTORIES)
+
+
+def get_backend(name: str) -> Backend:
+    """Look up (building lazily) a backend; unknown names list the options."""
+    _ensure_builtin()
+    if name not in _BACKENDS:
+        try:
+            factory = _FACTORIES[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown backend {name!r}; options: {list(_FACTORIES)}"
+            ) from None
+        _BACKENDS[name] = factory()
+    return _BACKENDS[name]
+
+
+def active_backend() -> Backend:
+    """The backend ops currently resolve against."""
+    return get_backend(_active)
+
+
+def set_active(name: str) -> Backend:
+    """Activate a backend by name and return it.
+
+    Activating an unavailable backend is allowed — every op falls back to
+    NumPy — so callers can inspect ``.available`` and print a notice
+    instead of failing the whole process.
+    """
+    global _active
+    backend = get_backend(name)  # validates the name
+    _active = name
+    return backend
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[Backend]:
+    """Scope an active backend to a ``with`` block."""
+    global _active
+    previous = _active
+    backend = set_active(name)
+    try:
+        yield backend
+    finally:
+        _active = previous
+
+
+class ResolvedOps:
+    """One core's ops resolved against one backend.
+
+    Each declared op is an attribute bound to either the backend's native
+    implementation or the NumPy fallback; ``sources`` records which, per
+    op, for the CLI dispatch table and the fallback-composition tests.
+    """
+
+    def __init__(self, names: tuple[str, ...], backend: Backend, fallback: Backend) -> None:
+        self.backend = backend.name
+        self.sources: dict[str, str] = {}
+        for name in names:
+            impl = backend.ops.get(name)
+            if impl is None:
+                impl = fallback.ops[name]
+                self.sources[name] = fallback.name
+            else:
+                self.sources[name] = backend.name
+            setattr(self, name, impl)
+
+
+def core_ops(core: str, *names: str) -> Callable[[], ResolvedOps]:
+    """Declare the ops ``core`` needs; returns a zero-argument resolver.
+
+    Declared at module import so unknown op names fail fast and the
+    requirement is introspectable (``repro backends show``).  The resolver
+    is called per use — a cached dict hit — so switching the active
+    backend takes effect without re-importing the core.
+    """
+    unknown = [n for n in names if n not in OP_SIGNATURES]
+    if unknown:
+        raise KeyError(
+            f"core {core!r} declares unknown ops {unknown}; "
+            f"known ops: {list(OP_SIGNATURES)}"
+        )
+    CORE_REQUIREMENTS[core] = tuple(names)
+
+    def resolve() -> ResolvedOps:
+        key = (core, _active)
+        resolved = _RESOLVED.get(key)
+        if resolved is None:
+            resolved = ResolvedOps(
+                CORE_REQUIREMENTS[core], active_backend(), get_backend(FALLBACK_BACKEND)
+            )
+            _RESOLVED[key] = resolved
+        return resolved
+
+    return resolve
+
+
+def resolution_table(name: str) -> dict[str, str]:
+    """Op -> serving backend for every vocabulary op under backend ``name``."""
+    backend = get_backend(name)
+    return {
+        op: (backend.name if op in backend.ops else FALLBACK_BACKEND)
+        for op in OP_SIGNATURES
+    }

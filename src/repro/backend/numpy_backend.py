@@ -1,0 +1,52 @@
+"""NumPy backend: the default, the fallback target, and the bit-identity anchor.
+
+Every op is the numpy call the cores made before the shim existed — an
+alias where the vocabulary signature matches numpy's, a minimal wrapper
+where the vocabulary flattens a ufunc-method spelling (``reduceat``,
+``accumulate_*``).  Running under this backend therefore *is* the frozen
+reference execution the `test_*_reference.py` suites pin, not an
+approximation of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _reduceat(data, starts, ufunc=np.add):
+    return ufunc.reduceat(data, starts)
+
+
+def _accumulate_multiply(a, axis=0, out=None):
+    return np.multiply.accumulate(a, axis=axis, out=out)
+
+
+def _accumulate_add(a, axis=0, out=None):
+    return np.add.accumulate(a, axis=axis, out=out)
+
+
+def build():
+    from .dispatch import Backend
+
+    return Backend(
+        name="numpy",
+        available=True,
+        detail=f"numpy {np.__version__}",
+        ops={
+            "argsort": np.argsort,
+            "lexsort": np.lexsort,
+            "sort": np.sort,
+            "searchsorted": np.searchsorted,
+            "cumsum": np.cumsum,
+            "repeat": np.repeat,
+            "reduceat": _reduceat,
+            "accumulate_multiply": _accumulate_multiply,
+            "accumulate_add": _accumulate_add,
+            "exp": np.exp,
+            "minimum": np.minimum,
+            "maximum": np.maximum,
+            "where": np.where,
+            "clip": np.clip,
+            "frexp": np.frexp,
+        },
+    )

@@ -1,0 +1,104 @@
+"""Optional Torch backend, auto-detected at first use.
+
+Implements the sort/search and elementwise subset of the vocabulary on
+CPU tensors; ``lexsort`` and ``reduceat`` have no direct Torch
+counterpart and are deliberately left out so the per-op fallback path is
+exercised whenever this backend is active.  All wrappers take and return
+host (NumPy) arrays — the dispatch layer composes backends at op
+granularity, so data stays in host memory at the op boundary.
+
+When torch is not importable the backend still registers, as
+unavailable: activating it is a no-op performance-wise (every op falls
+back to NumPy) but never an import error.  Torch results match the NumPy
+path within tolerance, not bit-identity; the golden suite in
+``tests/test_backend_torch.py`` checks atol bounds and is skipped when
+torch is absent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def build():
+    from .dispatch import Backend
+
+    try:
+        import torch
+    except Exception as exc:  # ModuleNotFoundError or a broken install
+        return Backend(
+            name="torch",
+            available=False,
+            detail=f"unavailable: {type(exc).__name__}: {exc}",
+            ops={},
+        )
+
+    def _t(a):
+        return torch.as_tensor(np.ascontiguousarray(a))
+
+    def _out(result, out):
+        if out is None:
+            return result.numpy()
+        np.copyto(out, result.numpy())
+        return out
+
+    def argsort(a, kind=None):
+        return torch.argsort(_t(a), stable=(kind == "stable")).numpy()
+
+    def sort(a, axis=-1):
+        return torch.sort(_t(a), dim=axis).values.numpy()
+
+    def searchsorted(sorted_a, values, side="left"):
+        return torch.searchsorted(_t(sorted_a), _t(values), right=(side == "right")).numpy()
+
+    def cumsum(a, out=None):
+        return _out(torch.cumsum(_t(a), dim=0), out)
+
+    def repeat(a, repeats):
+        return torch.repeat_interleave(_t(a), _t(repeats)).numpy()
+
+    def accumulate_multiply(a, axis=0, out=None):
+        return _out(torch.cumprod(_t(a), dim=axis), out)
+
+    def accumulate_add(a, axis=0, out=None):
+        return _out(torch.cumsum(_t(a), dim=axis), out)
+
+    def exp(x):
+        return torch.exp(_t(x)).numpy()
+
+    def minimum(a, b):
+        return torch.minimum(_t(a), _t(b)).numpy()
+
+    def maximum(a, b):
+        return torch.maximum(_t(a), _t(b)).numpy()
+
+    def where(cond, a, b):
+        return torch.where(_t(cond), _t(a), _t(b)).numpy()
+
+    def clip(a, lo, hi):
+        return torch.clamp(_t(a), _t(lo), _t(hi)).numpy()
+
+    def frexp(x):
+        mantissa, exponent = torch.frexp(_t(x))
+        return mantissa.numpy(), exponent.numpy()
+
+    return Backend(
+        name="torch",
+        available=True,
+        detail=f"torch {torch.__version__}",
+        ops={
+            "argsort": argsort,
+            "sort": sort,
+            "searchsorted": searchsorted,
+            "cumsum": cumsum,
+            "repeat": repeat,
+            "accumulate_multiply": accumulate_multiply,
+            "accumulate_add": accumulate_add,
+            "exp": exp,
+            "minimum": minimum,
+            "maximum": maximum,
+            "where": where,
+            "clip": clip,
+            "frexp": frexp,
+        },
+    )

@@ -38,10 +38,25 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backend import core_ops
 from .framebuffer import Framebuffer
 from .projection import ProjectedGaussians
 from .sorting import SortedTiles
 from .tiling import TileGrid
+
+#: Ops the chunked/sparse blending cores dispatch through the pluggable
+#: array backend.  The scalar replay path stays on plain numpy: it exists
+#: to pin termination semantics, not to be fast.
+_XP = core_ops(
+    "rasterizer",
+    "exp",
+    "minimum",
+    "where",
+    "accumulate_multiply",
+    "accumulate_add",
+    "repeat",
+    "cumsum",
+)
 
 #: Contributions below 1/255 are invisible at 8-bit output and skipped,
 #: matching the reference CUDA rasterizer.
@@ -264,6 +279,7 @@ def _sparse_blend_range(
     """
     n = means.shape[0]
     bw = gx1 - gx0
+    xp = _XP()
 
     for s in range(0, n, chunk_size):
         # The pre-splat check for Gaussian ``s`` (and, transitively, every
@@ -283,25 +299,25 @@ def _sparse_blend_range(
 
         areas = bbox_areas[idx]
         starts = np.zeros(k + 1, dtype=np.int64)
-        np.cumsum(areas, out=starts[1:])
+        xp.cumsum(areas, out=starts[1:])
         total = int(starts[-1])
-        local = np.arange(total, dtype=np.int64) - np.repeat(starts[:-1], areas)
-        bw_rep = np.repeat(bw[idx], areas)
-        rows_f = np.repeat(gy0[idx], areas) + local // bw_rep
-        cols_f = np.repeat(gx0[idx], areas) + local % bw_rep
+        local = np.arange(total, dtype=np.int64) - xp.repeat(starts[:-1], areas)
+        bw_rep = xp.repeat(bw[idx], areas)
+        rows_f = xp.repeat(gy0[idx], areas) + local // bw_rep
+        cols_f = xp.repeat(gx0[idx], areas) + local % bw_rep
 
-        dx = px[cols_f] - np.repeat(means[idx, 0], areas)
-        dy = py[rows_f] - np.repeat(means[idx, 1], areas)
-        a = np.repeat(conics[idx, 0], areas)
-        b = np.repeat(conics[idx, 1], areas)
-        c = np.repeat(conics[idx, 2], areas)
+        dx = px[cols_f] - xp.repeat(means[idx, 0], areas)
+        dy = py[rows_f] - xp.repeat(means[idx, 1], areas)
+        a = xp.repeat(conics[idx, 0], areas)
+        b = xp.repeat(conics[idx, 1], areas)
+        c = xp.repeat(conics[idx, 2], areas)
         power = -0.5 * (a * dx**2 + c * dy**2) - b * dy * dx
-        alpha = np.minimum(
-            np.repeat(opacities[idx], areas) * np.exp(np.minimum(power, 0.0)),
+        alpha = xp.minimum(
+            xp.repeat(opacities[idx], areas) * xp.exp(xp.minimum(power, 0.0)),
             MAX_ALPHA,
         )
         ok = (power <= 0.0) & (alpha >= MIN_ALPHA)
-        alpha = np.where(ok, alpha, 0.0)
+        alpha = xp.where(ok, alpha, 0.0)
         sig = np.logical_or.reduceat(ok, starts[:-1])
 
         snap_trans = trans.copy()
@@ -445,6 +461,7 @@ def rasterize_tile(
 
     xs = np.arange(w)
     ys = np.arange(h)
+    xp = _XP()
 
     for s in range(0, n, chunk_size):
         if trans.max() < termination:
@@ -466,8 +483,8 @@ def rasterize_tile(
         power = -0.5 * (
             a * dx[:, None, :] ** 2 + c * dy[:, :, None] ** 2
         ) - b * dy[:, :, None] * dx[:, None, :]
-        alpha = np.minimum(
-            opacities[s:e][:, None, None] * np.exp(np.minimum(power, 0.0)), MAX_ALPHA
+        alpha = xp.minimum(
+            opacities[s:e][:, None, None] * xp.exp(xp.minimum(power, 0.0)), MAX_ALPHA
         )
         in_x = (xs[None, :] >= gx0[s:e, None]) & (xs[None, :] < gx1[s:e, None])
         in_y = (ys[None, :] >= gy0[s:e, None]) & (ys[None, :] < gy1[s:e, None])
@@ -476,7 +493,7 @@ def rasterize_tile(
         ok = (power <= 0.0) & (alpha >= MIN_ALPHA)
         ok &= in_y[:, :, None]
         ok &= in_x[:, None, :]
-        alpha = np.where(ok, alpha, 0.0)
+        alpha = xp.where(ok, alpha, 0.0)
 
         # Members whose alpha map is identically zero composite as bitwise
         # no-ops (multiply by 1.0, add of exact zero) — drop them from the
@@ -498,7 +515,7 @@ def rasterize_tile(
             np.subtract(1.0, alpha, out=tstack[1:])
             # In-place accumulate is safe (each level is read before it is
             # overwritten) and halves the pass's temporaries.
-            np.multiply.accumulate(tstack, axis=0, out=tstack)
+            tstack = xp.accumulate_multiply(tstack, axis=0, out=tstack)
 
             # The scalar loop checks max transmittance before *every*
             # Gaussian.  Transmittance is non-increasing, so if the state
@@ -525,7 +542,7 @@ def rasterize_tile(
             np.multiply(
                 weights[..., None], chunk_colors[:, None, None, :], out=contribs[1:]
             )
-            np.add.accumulate(contribs, axis=0, out=contribs)
+            contribs = xp.accumulate_add(contribs, axis=0, out=contribs)
             color[:] = contribs[k_live]
             trans[:] = tstack[k_live]
 

@@ -26,8 +26,22 @@ from typing import Iterator
 
 import numpy as np
 
+from ..backend import core_ops
 from ..scene.camera import Camera
 from .projection import ProjectedGaussians
+
+#: Ops the tile-stream core dispatches through the pluggable array backend.
+_XP = core_ops(
+    "tiling",
+    "argsort",
+    "searchsorted",
+    "reduceat",
+    "repeat",
+    "cumsum",
+    "minimum",
+    "maximum",
+    "clip",
+)
 
 #: Tile edge used by the Neo accelerator configuration (Table 1).
 NEO_TILE_SIZE = 64
@@ -182,9 +196,10 @@ class TileStream:
         """
         if tiles.shape[0] == 0:
             return cls.empty(num_tiles, dtype=values.dtype)
-        order = np.argsort(tiles, kind="stable")
+        xp = _XP()
+        order = xp.argsort(tiles, kind="stable")
         tiles_sorted = tiles[order]
-        offsets = np.searchsorted(tiles_sorted, np.arange(num_tiles + 1))
+        offsets = xp.searchsorted(tiles_sorted, np.arange(num_tiles + 1))
         return cls(num_tiles=num_tiles, values=values[order], offsets=offsets)
 
     @classmethod
@@ -215,7 +230,7 @@ class TileStream:
 
     def tile_of(self) -> np.ndarray:
         """Owning tile of every entry, shape ``(num_pairs,)``."""
-        return np.repeat(np.arange(self.num_tiles, dtype=np.int64), self.counts())
+        return _XP().repeat(np.arange(self.num_tiles, dtype=np.int64), self.counts())
 
     def nonempty(self) -> np.ndarray:
         """Indices of tiles with at least one entry."""
@@ -258,7 +273,7 @@ class TileStream:
         starts = self.offsets[:-1]
         mask = starts < self.offsets[1:]
         if data.shape[0] and np.any(mask):
-            out[mask] = ufunc.reduceat(data, starts[mask])
+            out[mask] = _XP().reduceat(data, starts[mask], ufunc)
         return out
 
     def segment_intersect(
@@ -278,22 +293,23 @@ class TileStream:
             other_keys.shape[0] != other.values.shape[0]
         ):
             raise ValueError("keys must align with the streams' values")
+        xp = _XP()
         ka = self.tile_of() * _KEY_SHIFT + keys
         kb = other.tile_of() * _KEY_SHIFT + other_keys
-        order_a = np.argsort(ka, kind="stable")
-        order_b = np.argsort(kb, kind="stable")
+        order_a = xp.argsort(ka, kind="stable")
+        order_b = xp.argsort(kb, kind="stable")
         sa = ka[order_a]
         sb = kb[order_b]
         if sb.shape[0]:
-            pos = np.searchsorted(sb, sa)
-            safe = np.minimum(pos, sb.shape[0] - 1)
+            pos = xp.searchsorted(sb, sa)
+            safe = xp.minimum(pos, sb.shape[0] - 1)
             mask = (pos < sb.shape[0]) & (sb[safe] == sa)
         else:
             pos = np.zeros(sa.shape[0], dtype=np.int64)
             mask = np.zeros(sa.shape[0], dtype=bool)
         shared = sa[mask]
         tiles_shared = shared >> 32
-        offsets = np.searchsorted(tiles_shared, np.arange(self.num_tiles + 1))
+        offsets = xp.searchsorted(tiles_shared, np.arange(self.num_tiles + 1))
         return SegmentIntersection(
             offsets=offsets,
             keys=shared - (tiles_shared << 32),
@@ -397,20 +413,21 @@ def assign_to_tiles(projected: ProjectedGaussians, grid: TileGrid) -> TileAssign
             grid=grid, stream=TileStream.empty(grid.num_tiles), projected=projected
         )
 
+    xp = _XP()
     tx0, tx1, ty0, ty1 = tile_ranges(projected, grid)
-    nx = np.maximum(tx1 - tx0 + 1, 0)
-    ny = np.maximum(ty1 - ty0 + 1, 0)
+    nx = xp.maximum(tx1 - tx0 + 1, 0)
+    ny = xp.maximum(ty1 - ty0 + 1, 0)
     counts = nx * ny
     total = int(counts.sum())
 
-    rows = np.repeat(np.arange(m, dtype=np.int64), counts)
+    rows = xp.repeat(np.arange(m, dtype=np.int64), counts)
     # Per-pair offset within each Gaussian's tile rectangle.
-    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
-    local = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
-    nx_rep = np.repeat(np.maximum(nx, 1), counts)
+    starts = np.concatenate([[0], xp.cumsum(counts)[:-1]])
+    local = np.arange(total, dtype=np.int64) - xp.repeat(starts, counts)
+    nx_rep = xp.repeat(xp.maximum(nx, 1), counts)
     dx = local % nx_rep
     dy = local // nx_rep
-    tiles = (np.repeat(ty0, counts) + dy) * grid.tiles_x + np.repeat(tx0, counts) + dx
+    tiles = (xp.repeat(ty0, counts) + dy) * grid.tiles_x + xp.repeat(tx0, counts) + dx
 
     # Refine the bbox expansion with an exact circle-vs-tile-rectangle test.
     # This matches the Rasterization Engine's ITU geometry (a circle overlaps
@@ -421,8 +438,8 @@ def assign_to_tiles(projected: ProjectedGaussians, grid: TileGrid) -> TileAssign
     cx = projected.means2d[rows, 0]
     cy = projected.means2d[rows, 1]
     r = projected.radii[rows]
-    qx = np.clip(cx, tile_x, np.minimum(tile_x + grid.tile_size, grid.width))
-    qy = np.clip(cy, tile_y, np.minimum(tile_y + grid.tile_size, grid.height))
+    qx = xp.clip(cx, tile_x, xp.minimum(tile_x + grid.tile_size, grid.width))
+    qy = xp.clip(cy, tile_y, xp.minimum(tile_y + grid.tile_size, grid.height))
     overlap = (qx - cx) ** 2 + (qy - cy) ** 2 <= r * r
     tiles = tiles[overlap]
     rows = rows[overlap]

@@ -59,6 +59,97 @@ class TestCompare:
         assert any("new benchmark" in line for line in lines)
 
 
+def staged(total_speedup, baseline_ms, stage_seconds):
+    return {
+        "speedup": total_speedup,
+        "baseline_ms": baseline_ms,
+        "detail": {"stage_seconds": stage_seconds},
+    }
+
+
+class TestStageCompare:
+    def test_stage_regression_fails_even_when_total_passes(self):
+        # Raster got 4x slower while sort got faster; the total speedup is
+        # flat, which is exactly the blind spot the stage gate closes.
+        base = {
+            "render": staged(
+                2.0, 2000.0, {"raster_s": 1.0, "sort_s": 0.5, "total_s": 1.5}
+            )
+        }
+        fresh = {
+            "render": staged(
+                2.0, 2000.0, {"raster_s": 4.0, "sort_s": 0.1, "total_s": 4.1}
+            )
+        }
+        lines, ok = bench_trend.compare(base, fresh, 0.25)
+        assert not ok
+        assert any("REGRESSED" in line and "raster_s" in line for line in lines)
+        assert any("raster_s regressed" in line for line in lines)
+
+    def test_stage_regression_names_the_stage(self):
+        base = {"render": staged(2.0, 2000.0, {"raster_s": 1.0, "sort_s": 0.5})}
+        fresh = {"render": staged(2.0, 2000.0, {"raster_s": 4.0, "sort_s": 0.5})}
+        lines, regressed = bench_trend.compare_stages(
+            base["render"], fresh["render"], 0.5, 0.05
+        )
+        assert regressed == ["raster_s"]
+        assert not any("sort_s" in line and "REGRESSED" in line for line in lines)
+
+    def test_tiny_stage_noise_is_info_only(self):
+        # cull is 0.1% of stage time; a 10x swing there must not gate.
+        base = {
+            "render": staged(2.0, 2000.0, {"raster_s": 1.0, "cull_s": 0.001})
+        }
+        fresh = {
+            "render": staged(2.0, 2000.0, {"raster_s": 1.0, "cull_s": 0.01})
+        }
+        lines, ok = bench_trend.compare(base, fresh, 0.25)
+        assert ok
+        assert any("info only" in line and "cull_s" in line for line in lines)
+
+    def test_stages_within_threshold_pass(self):
+        base = {"render": staged(2.0, 2000.0, {"raster_s": 1.0, "sort_s": 0.5})}
+        fresh = {"render": staged(1.9, 2000.0, {"raster_s": 1.2, "sort_s": 0.6})}
+        lines, ok = bench_trend.compare(base, fresh, 0.25)
+        assert ok
+
+    def test_benchmarks_without_stages_unaffected(self):
+        lines, ok = bench_trend.compare(
+            {"raster": {"speedup": 2.5}}, {"raster": {"speedup": 2.4}}, 0.25
+        )
+        assert ok
+        assert not any("stage" in line for line in lines)
+
+    def test_missing_stage_in_fresh_fails(self):
+        base = {"render": staged(2.0, 2000.0, {"raster_s": 1.0})}
+        fresh = {"render": staged(2.0, 2000.0, {"blend_s": 1.0})}
+        _, regressed = bench_trend.compare_stages(
+            base["render"], fresh["render"], 0.5, 0.05
+        )
+        assert regressed == ["raster_s"]
+
+    def test_stage_threshold_is_configurable(self, tmp_path):
+        def payload(raster):
+            return {
+                "schema": "repro-bench/1",
+                "benchmarks": [
+                    {
+                        "name": "render",
+                        "speedup": 2.0,
+                        "baseline_ms": 2000.0,
+                        "detail": {"stage_seconds": {"raster_s": raster}},
+                    }
+                ],
+            }
+        base = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        base.write_text(json.dumps(payload(1.0)))
+        fresh.write_text(json.dumps(payload(2.5)))
+        args = ["--baseline", str(base), "--fresh", str(fresh)]
+        assert bench_trend.main(args) == 1
+        assert bench_trend.main(args + ["--max-stage-regression", "0.8"]) == 0
+
+
 class TestMain:
     def test_pass_exit_zero(self, tmp_path, capsys):
         base = artifact(tmp_path / "base.json", {"raster": 2.5, "sort": 1.3})

@@ -76,7 +76,7 @@ class TestFrameSimilarity:
     def test_tile_count_mismatch_rejected(self, two_frames):
         from repro.pipeline.sorting import SortedTiles
 
-        short = SortedTiles(tile_rows=[], tile_ids=[], tile_depths=[])
+        short = SortedTiles.from_tile_lists([], [], [])
         with pytest.raises(ValueError):
             frame_similarity(two_frames[0], short)
 

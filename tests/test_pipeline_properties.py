@@ -71,7 +71,7 @@ def test_duplication_pairs_overlap_their_tiles(seed, n):
     assignment = assign_to_tiles(proj, grid)
     for tile in assignment.nonempty_tiles():
         x0, y0, x1, y1 = grid.tile_pixel_bounds(tile)
-        rows = assignment.tile_rows[tile]
+        rows = assignment.rows_for(tile)
         cx = proj.means2d[rows, 0]
         cy = proj.means2d[rows, 1]
         r = proj.radii[rows]

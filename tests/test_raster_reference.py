@@ -234,9 +234,9 @@ class TestBatchedSortGolden:
         want = ref.sort_tiles(assignment)
         assert got.num_tiles == want.num_tiles
         for t in range(got.num_tiles):
-            assert np.array_equal(got.tile_rows[t], want.tile_rows[t])
-            assert np.array_equal(got.tile_ids[t], want.tile_ids[t])
-            assert np.array_equal(got.tile_depths[t], want.tile_depths[t])
+            assert np.array_equal(got.rows_for(t), want.rows_for(t))
+            assert np.array_equal(got.ids_for(t), want.ids_for(t))
+            assert np.array_equal(got.depths_for(t), want.depths_for(t))
 
     def test_duplicate_depths_tie_break_on_id(self):
         rng = np.random.default_rng(11)
@@ -253,8 +253,8 @@ class TestBatchedSortGolden:
         got = sort_tiles(assignment)
         want = ref.sort_tiles(assignment)
         for t in range(got.num_tiles):
-            assert np.array_equal(got.tile_rows[t], want.tile_rows[t])
-            assert np.array_equal(got.tile_depths[t], want.tile_depths[t])
+            assert np.array_equal(got.rows_for(t), want.rows_for(t))
+            assert np.array_equal(got.depths_for(t), want.depths_for(t))
 
 
 class TestOrderMetricsGolden:
@@ -292,7 +292,8 @@ class TestWorkloadVectorizedQueries:
     def test_shared_fraction_matches_mask_scan(self, model):
         for frame in (1, 2):
             for tile_size in (16, 64):
-                tiles, rows = model.frame_pairs(frame - 1, "hd", tile_size)
+                prev = model.frame_stream(frame - 1, "hd", tile_size)
+                tiles, rows = prev.tile_of(), prev.values
                 cur_keys = model._pair_keys(frame, model._resolve("hd"), tile_size)
                 prev_ids = model.frames[frame - 1].ids[rows]
                 prev_keys = tiles.astype(np.int64) * (1 << 32) + prev_ids
@@ -306,7 +307,7 @@ class TestWorkloadVectorizedQueries:
     def test_chunks_match_scalar_ceil_div(self, model):
         for frame in (0, 1, 2):
             workload = model.frame_workload(frame, "qhd", 64)
-            tiles, _ = model.frame_pairs(frame, model._resolve("qhd"), 64)
+            tiles = model.frame_stream(frame, "qhd", 64).tile_of()
             occupancy = np.bincount(tiles, minlength=workload.num_tiles)
             want = float(
                 sum(-(-int(c * model.count_scale) // 256) for c in occupancy[occupancy > 0])

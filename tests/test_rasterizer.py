@@ -149,7 +149,7 @@ class TestRasterizeFrame:
         sorted_tiles = sort_tiles(assignment)
         result = rasterize(sorted_tiles, proj, grid)
         for t, valid in result.valid_bits.items():
-            assert valid.shape[0] == sorted_tiles.tile_rows[t].shape[0]
+            assert valid.shape[0] == sorted_tiles.rows_for(t).shape[0]
 
     def test_background(self, small_scene, camera):
         proj = project_gaussians(small_scene, camera)

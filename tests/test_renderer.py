@@ -25,8 +25,9 @@ class TestRenderer:
 
     def test_exact_strategy_sorts(self, small_scene, camera):
         record = Renderer(small_scene, strategy=ExactSortStrategy()).render(camera)
-        for depths in record.sorted_tiles.tile_depths:
-            assert is_depth_sorted(depths)
+        st = record.sorted_tiles
+        for t in range(st.num_tiles):
+            assert is_depth_sorted(st.depths_for(t))
 
     def test_occupancy_stats(self, small_scene, camera):
         record = Renderer(small_scene).render(camera)

@@ -49,7 +49,7 @@ class TestReuseUpdate:
         strategy, records, _ = neo_run
         last = records[-1]
         for tile, table in strategy.tables.items():
-            rendered = last.sorted_tiles.tile_ids[tile]
+            rendered = last.sorted_tiles.ids_for(tile)
             # Everything rendered for a tile came from its table.
             assert set(rendered.tolist()).issubset(set(table.ids.tolist()))
 

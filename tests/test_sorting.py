@@ -18,17 +18,17 @@ class TestSortTiles:
         proj = project_gaussians(small_scene, camera)
         assignment = assign_to_tiles(proj, TileGrid.for_camera(camera, 16))
         sorted_tiles = sort_tiles(assignment)
-        for depths in sorted_tiles.tile_depths:
-            assert is_depth_sorted(depths)
+        for t in range(sorted_tiles.num_tiles):
+            assert is_depth_sorted(sorted_tiles.depths_for(t))
 
     def test_rows_ids_depths_consistent(self, small_scene, camera):
         proj = project_gaussians(small_scene, camera)
         assignment = assign_to_tiles(proj, TileGrid.for_camera(camera, 16))
         sorted_tiles = sort_tiles(assignment)
         for t in range(sorted_tiles.num_tiles):
-            rows = sorted_tiles.tile_rows[t]
-            assert np.array_equal(sorted_tiles.tile_ids[t], proj.ids[rows])
-            assert np.array_equal(sorted_tiles.tile_depths[t], proj.depths[rows])
+            rows = sorted_tiles.rows_for(t)
+            assert np.array_equal(sorted_tiles.ids_for(t), proj.ids[rows])
+            assert np.array_equal(sorted_tiles.depths_for(t), proj.depths[rows])
 
     def test_preserves_pair_count(self, small_scene, camera):
         proj = project_gaussians(small_scene, camera)
@@ -52,7 +52,7 @@ class TestSortTiles:
         )
         assignment = assign_to_tiles(proj, TileGrid(width=16, height=16, tile_size=16))
         sorted_tiles = sort_tiles(assignment)
-        assert list(sorted_tiles.tile_ids[0]) == [1, 3, 7, 9]
+        assert list(sorted_tiles.ids_for(0)) == [1, 3, 7, 9]
 
 
 class TestOrderMetrics:

@@ -34,8 +34,9 @@ class TestFullResort:
         strategy = FullResortStrategy()
         records = Renderer(small_scene, strategy=strategy).render_sequence(camera_path)
         for record in records:
-            for depths in record.sorted_tiles.tile_depths:
-                assert is_depth_sorted(depths)
+            st = record.sorted_tiles
+            for t in range(st.num_tiles):
+                assert is_depth_sorted(st.depths_for(t))
         assert len(strategy.frame_traffic) == len(camera_path)
         assert strategy.total_traffic().total_bytes > 0
 
@@ -110,8 +111,9 @@ class TestHierarchical:
     def test_order_is_exact(self, small_scene, camera):
         strategy = HierarchicalSortStrategy()
         record = Renderer(small_scene, strategy=strategy).render(camera)
-        for depths in record.sorted_tiles.tile_depths:
-            assert is_depth_sorted(depths)
+        st = record.sorted_tiles
+        for t in range(st.num_tiles):
+            assert is_depth_sorted(st.depths_for(t))
 
     def test_traffic_twice_neo_reorder(self, small_scene, camera_path):
         hier = HierarchicalSortStrategy()

@@ -79,7 +79,7 @@ class TestAssignment:
         proj = _projected([[8.0, 8.0]], [2.0])
         assignment = assign_to_tiles(proj, grid)
         assert assignment.num_pairs == 1
-        assert assignment.tile_rows[0].shape[0] == 1
+        assert assignment.rows_for(0).shape[0] == 1
 
     def test_large_splat_covers_many_tiles(self):
         grid = TileGrid(width=64, height=64, tile_size=16)
@@ -94,7 +94,7 @@ class TestAssignment:
         proj = _projected([[12.0, 12.0]], [5.0])
         assignment = assign_to_tiles(proj, grid)
         # corner of tile(1,1) is (16,16): distance from (12,12) = 5.66 > 5
-        tiles_hit = [t for t in range(4) if assignment.tile_rows[t].shape[0]]
+        tiles_hit = [t for t in range(4) if assignment.rows_for(t).shape[0]]
         assert 3 not in tiles_hit
         assert assignment.num_pairs == 3
 
@@ -111,7 +111,7 @@ class TestAssignment:
         grid = TileGrid.for_camera(camera, 16)
         assignment = assign_to_tiles(proj, grid)
         for t in assignment.nonempty_tiles()[:5]:
-            rows = assignment.tile_rows[t]
+            rows = assignment.rows_for(t)
             assert np.array_equal(assignment.tile_ids(t), proj.ids[rows])
             assert np.array_equal(assignment.tile_depths(t), proj.depths[rows])
 
@@ -127,7 +127,7 @@ class TestAssignment:
         assignment = assign_to_tiles(proj, grid)
         for t in assignment.nonempty_tiles():
             x0, y0, x1, y1 = grid.tile_pixel_bounds(t)
-            rows = assignment.tile_rows[t]
+            rows = assignment.rows_for(t)
             cx = proj.means2d[rows, 0]
             cy = proj.means2d[rows, 1]
             r = proj.radii[rows]
