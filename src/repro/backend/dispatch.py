@@ -44,8 +44,8 @@ OP_SIGNATURES: dict[str, str] = {
     "reduceat": "reduceat(data, starts, ufunc) -> per-segment reduction",
     "accumulate_multiply": "accumulate_multiply(a, axis=0, out=None) -> running product",
     "accumulate_add": "accumulate_add(a, axis=0, out=None) -> running sum",
-    "exp": "exp(x) -> e**x elementwise",
-    "minimum": "minimum(a, b) -> elementwise minimum",
+    "exp": "exp(x, out=None) -> e**x elementwise",
+    "minimum": "minimum(a, b, out=None) -> elementwise minimum",
     "maximum": "maximum(a, b) -> elementwise maximum",
     "where": "where(cond, a, b) -> elementwise select",
     "clip": "clip(a, lo, hi) -> values bounded into [lo, hi]",

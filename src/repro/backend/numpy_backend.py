@@ -17,7 +17,25 @@ def _reduceat(data, starts, ufunc=np.add):
     return ufunc.reduceat(data, starts)
 
 
+#: Inner-block size above which the level-loop formulation of
+#: ``accumulate_multiply`` beats ``ufunc.accumulate``.  The generic strided
+#: accumulate inner loop runs ~8x slower than a contiguous vectorized
+#: multiply, so for large planes a Python loop over levels — performing
+#: the *identical* multiply sequence ``out[m] = out[m - 1] * a[m]``,
+#: strictly left to right — is both bit-identical and much faster.  Small
+#: planes stay on ``ufunc.accumulate`` where per-call overhead dominates.
+_LEVEL_LOOP_MIN_INNER = 4096
+
+
 def _accumulate_multiply(a, axis=0, out=None):
+    if axis == 0 and a.ndim >= 2 and a[0].size >= _LEVEL_LOOP_MIN_INNER:
+        if out is None:
+            out = a.copy()
+        elif out is not a:
+            out[...] = a
+        for m in range(1, out.shape[0]):
+            np.multiply(out[m - 1], out[m], out=out[m])
+        return out
     return np.multiply.accumulate(a, axis=axis, out=out)
 
 

@@ -63,11 +63,11 @@ def build():
     def accumulate_add(a, axis=0, out=None):
         return _out(torch.cumsum(_t(a), dim=axis), out)
 
-    def exp(x):
-        return torch.exp(_t(x)).numpy()
+    def exp(x, out=None):
+        return _out(torch.exp(_t(x)), out)
 
-    def minimum(a, b):
-        return torch.minimum(_t(a), _t(b)).numpy()
+    def minimum(a, b, out=None):
+        return _out(torch.minimum(_t(a), _t(b)), out)
 
     def maximum(a, b):
         return torch.maximum(_t(a), _t(b)).numpy()

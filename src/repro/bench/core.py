@@ -101,8 +101,47 @@ def bench_descriptions() -> dict[str, str]:
     return {name: desc for name, (desc, _) in _REGISTRY.items()}
 
 
-def run_benchmarks(names: list[str] | None = None, quick: bool = False) -> list[BenchRecord]:
-    """Run the named benchmarks (all when ``names`` is empty) in order."""
+#: Rows kept from a ``--profile`` capture, per benchmark.
+PROFILE_TOP_N = 15
+
+
+def _profile_summary(profiler, top_n: int = PROFILE_TOP_N) -> list[dict]:
+    """The ``top_n`` functions by cumulative time, as plain dicts.
+
+    ``pstats`` keys stats by ``(file, line, function)``; the summary keeps
+    that identity plus call counts and tottime/cumtime so the JSON artifact
+    is greppable without re-running the profiler.
+    """
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    rows = []
+    for (filename, line, function), (cc, nc, tottime, cumtime, _callers) in stats.stats.items():
+        rows.append(
+            {
+                "function": function,
+                "location": f"{filename}:{line}",
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime_s": round(tottime, 6),
+                "cumtime_s": round(cumtime, 6),
+            }
+        )
+    rows.sort(key=lambda row: row["cumtime_s"], reverse=True)
+    return rows[:top_n]
+
+
+def run_benchmarks(
+    names: list[str] | None = None, quick: bool = False, profile: bool = False
+) -> list[BenchRecord]:
+    """Run the named benchmarks (all when ``names`` is empty) in order.
+
+    With ``profile=True`` each benchmark runs under :mod:`cProfile` and its
+    record's ``detail["profile"]`` carries the top functions by cumulative
+    time.  Profiled timings are slower (tracing overhead applies to both
+    sides of every comparison), so profile runs are for attribution, not
+    for committing bench artifacts.
+    """
     _ensure_loaded()
     selected = names or list(_REGISTRY)
     unknown = [n for n in selected if n not in _REGISTRY]
@@ -114,7 +153,14 @@ def run_benchmarks(names: list[str] | None = None, quick: bool = False) -> list[
     records = []
     for name in selected:
         description, fn = _REGISTRY[name]
-        record = fn(quick)
+        if profile:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            record = profiler.runcall(fn, quick)
+            record.detail["profile"] = _profile_summary(profiler)
+        else:
+            record = fn(quick)
         record.name = name
         record.description = description
         records.append(record)

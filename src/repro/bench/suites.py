@@ -14,7 +14,7 @@ import time
 import numpy as np
 
 from ..pipeline import reference as pipeline_ref
-from ..pipeline.rasterizer import rasterize
+from ..pipeline.rasterizer import rasterize, rasterize_tiled
 from ..pipeline.renderer import Renderer, aggregate_timings
 from ..pipeline.sorting import kendall_tau_distance, sort_tiles
 from ..pipeline.tiling import TileGrid, assign_to_tiles
@@ -101,7 +101,7 @@ def _raster_results_equal(got, want) -> bool:
 
 @register_bench(
     "raster_chunked",
-    "chunked-vectorized rasterizer vs the scalar per-Gaussian blending loop",
+    "chunked per-tile-loop rasterizer vs the scalar per-Gaussian blending loop",
 )
 def bench_raster_chunked(quick: bool) -> BenchRecord:
     gaussians, frames_n, w, h, repeats = (
@@ -114,7 +114,7 @@ def bench_raster_chunked(quick: bool) -> BenchRecord:
         lambda: [pipeline_ref.rasterize(st, p, g) for p, g, st in sorted_frames], repeats
     )
     opt_s, opt_out = _best_of(
-        lambda: [rasterize(st, p, g) for p, g, st in sorted_frames], repeats
+        lambda: [rasterize_tiled(st, p, g) for p, g, st in sorted_frames], repeats
     )
     identical = all(_raster_results_equal(a, b) for a, b in zip(opt_out, base_out))
     return BenchRecord(
@@ -123,6 +123,42 @@ def bench_raster_chunked(quick: bool) -> BenchRecord:
         optimized_ms=opt_s * 1e3,
         speedup=base_s / opt_s if opt_s else float("inf"),
         floor=1.3,
+        identical=identical,
+        detail={"gaussians": gaussians, "frames": frames_n, "resolution": [w, h]},
+    )
+
+
+@register_bench(
+    "raster_bucketed",
+    "occupancy-bucketed whole-frame blending vs the chunked per-tile loop",
+)
+def bench_raster_bucketed(quick: bool) -> BenchRecord:
+    # Same size in both modes: bucketing amortizes per-tile launch overhead,
+    # so a shrunken quick frame (fewer, emptier tiles) would sit far from
+    # the committed full-mode ratio and trip the CI trend gate.
+    gaussians, frames_n, w, h = 6000, 3, 480, 270
+    repeats = 2 if quick else 3
+    _, _, frames = _prepared_frames(gaussians, frames_n, w, h)
+    sorted_frames = [(p, g, sort_tiles(a)) for p, g, a in frames]
+
+    base_s, base_out = _best_of(
+        lambda: [rasterize_tiled(st, p, g) for p, g, st in sorted_frames], repeats
+    )
+    opt_s, opt_out = _best_of(
+        lambda: [rasterize(st, p, g) for p, g, st in sorted_frames], repeats
+    )
+    # The gate is bit-identity against the frozen *scalar* pin, not merely
+    # against the chunked loop (itself pinned elsewhere).
+    ref_out = [pipeline_ref.rasterize(st, p, g) for p, g, st in sorted_frames]
+    identical = all(
+        _raster_results_equal(a, b) for a, b in zip(opt_out, ref_out)
+    ) and all(_raster_results_equal(a, b) for a, b in zip(base_out, ref_out))
+    return BenchRecord(
+        quick=quick,
+        baseline_ms=base_s * 1e3,
+        optimized_ms=opt_s * 1e3,
+        speedup=base_s / opt_s if opt_s else float("inf"),
+        floor=1.6,
         identical=identical,
         detail={"gaussians": gaussians, "frames": frames_n, "resolution": [w, h]},
     )

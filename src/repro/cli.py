@@ -324,7 +324,7 @@ def _cmd_sweep(args) -> int:
     if code:
         return code
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = SweepRunner(jobs=args.jobs, cache=cache)
+    runner = SweepRunner(jobs=args.jobs, cache=cache, batched=args.batched)
     outcome = runner.run(spec)
     report = outcome.report
 
@@ -335,6 +335,12 @@ def _cmd_sweep(args) -> int:
         f"(jobs={args.jobs}, {outcome.hits} from cache, cache "
         f"{'disabled' if cache is None else 'at ' + str(cache.root)})"
     )
+    if outcome.rollout is not None:
+        rollout = outcome.rollout
+        print(
+            f"batched rollout: {rollout.stacked} point(s) stacked into "
+            f"{rollout.groups} group(s), {rollout.fallback} fell back"
+        )
     if args.out:
         _write_sweep_files(report, args.out)
     if args.require_cached and not outcome.all_cached:
@@ -381,10 +387,17 @@ def _cmd_bench(args) -> int:
     code = _activate_backend(args.backend)
     if code:
         return code
-    records = run_benchmarks(args.names or None, quick=args.quick)
+    records = run_benchmarks(args.names or None, quick=args.quick, profile=args.profile)
 
     for record in records:
         print(record.to_text())
+        if args.profile:
+            for row in record.detail.get("profile", [])[:5]:
+                print(
+                    f"    {row['cumtime_s']*1e3:9.1f} ms cum  "
+                    f"{row['tottime_s']*1e3:9.1f} ms self  "
+                    f"{row['ncalls']:>8} calls  {row['function']}"
+                )
     if args.out:
         print(f"wrote {write_bench_json(args.out, records, args.quick)}")
 
@@ -438,6 +451,7 @@ def _cmd_serve(args) -> int:
         queue_limit=args.queue_limit,
         default_timeout_s=args.timeout,
         cache_dir=None if args.no_cache else args.cache_dir,
+        batched=args.batched,
     )
     try:
         serve(config, announce=lambda line: print(line, flush=True))
@@ -626,6 +640,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="predefined sweep name (see `repro sweep list`) or path to a spec .json",
     )
     sweep_run.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    sweep_run.add_argument(
+        "--batched", action="store_true",
+        help="stack cache-miss points sharing a workload capture into "
+             "batched multi-rollouts (rows stay byte-identical)",
+    )
     sweep_run.add_argument("--no-cache", action="store_true", help="bypass the result cache")
     sweep_run.add_argument("--cache-dir", default=None, help="cache root (default .repro_cache)")
     sweep_run.add_argument(
@@ -690,6 +709,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_p.add_argument(
         "--no-cache", action="store_true", help="serve without any disk persistence"
+    )
+    serve_p.add_argument(
+        "--batched", action="store_true",
+        help="drain queued executions per worker pass and stack compatible "
+             "cells into one rollout (reports stay byte-identical)",
     )
 
     loadgen_p = sub.add_parser(
@@ -765,6 +789,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument(
         "--backend", default=None,
         help="array backend for the vectorized cores (see `repro backends list`)",
+    )
+    bench_p.add_argument(
+        "--profile", action="store_true",
+        help="run each benchmark under cProfile and record the top functions "
+             "by cumulative time in its detail (timings include tracing "
+             "overhead; don't commit profiled artifacts)",
     )
 
     render_p = sub.add_parser("render", help="render one frame to a PPM image")

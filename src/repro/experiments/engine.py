@@ -377,6 +377,23 @@ class BatchedRollout:
         return dict(zip(group, reports))
 
 
+def rollout_sim_misses(cells: list) -> tuple[dict, "RolloutStats | None"]:
+    """Default batched-miss handler: stack the :class:`SimJob` cells.
+
+    This is the handler :func:`execute_cells` applies under ``batched=True``
+    when the caller supplies none.  Callers whose cells are not SimJobs
+    (e.g. the sweep executor) pass their own handler with the same
+    contract: take the miss cells, return ``(values keyed by cell, stats)``
+    covering whichever cells the handler could evaluate; the rest fall
+    through to the normal per-cell fan-out.
+    """
+    sim_cells = [cell for cell in cells if isinstance(cell, SimJob)]
+    if not sim_cells:
+        return {}, None
+    rollout = BatchedRollout(sim_cells)
+    return rollout.execute(), rollout.stats
+
+
 # ----------------------------------------------------------------------
 # execute_cells: the shared fan-out primitive
 # ----------------------------------------------------------------------
@@ -412,6 +429,7 @@ def execute_cells(
     cache: ResultCache | None = None,
     store: bool = True,
     batched: bool = False,
+    rollout_misses: "Callable[[list], tuple[dict, RolloutStats | None]] | None" = None,
 ) -> CellBatch:
     """Evaluate a batch of cells: dedup, cache probe, parallel fan-out, merge.
 
@@ -427,11 +445,14 @@ def execute_cells(
     engine's workers write through ``simulate_system``), avoiding a second
     serialization of every report.
 
-    ``batched=True`` routes :class:`SimJob` cache misses through a
-    :class:`BatchedRollout` — compatible cells evaluate as one stacked array
-    pass instead of one process each, with byte-identical reports — before
-    any remaining misses (unstackable groups fall back inside the rollout;
-    non-``SimJob`` cells always) take the normal ``evaluate`` fan-out.
+    ``batched=True`` routes cache misses through a rollout handler —
+    compatible cells evaluate as one stacked array pass instead of one
+    process each, with byte-identical reports — before any remaining misses
+    (unstackable groups fall back inside the rollout; unhandled cells
+    always) take the normal ``evaluate`` fan-out.  The default handler
+    (:func:`rollout_sim_misses`) stacks :class:`SimJob` cells; callers with
+    differently shaped cells pass their own ``rollout_misses`` with the
+    same ``cells -> (values_by_cell, stats)`` contract.
     """
     start = time.perf_counter()
     keys: list[str] = []
@@ -460,13 +481,13 @@ def execute_cells(
     rollout_stats: RolloutStats | None = None
     n_misses = len(misses)
     if batched:
-        sim_misses = [(key, cell) for key, cell in misses if isinstance(cell, SimJob)]
-        if sim_misses:
-            rollout = BatchedRollout([cell for _, cell in sim_misses])
-            reports = rollout.execute()
-            rollout_stats = rollout.stats
-            for key, cell in sim_misses:
-                value = reports[cell]
+        handler = rollout_misses if rollout_misses is not None else rollout_sim_misses
+        handled, rollout_stats = handler([cell for _, cell in misses])
+        if handled:
+            for key, cell in misses:
+                if cell not in handled:
+                    continue
+                value = handled[cell]
                 values[key] = value
                 # The rollout computes in the parent process, so nothing
                 # else persists these cells — write them regardless of
@@ -475,9 +496,7 @@ def execute_cells(
                 if cache is not None:
                     namespace, payload = spec_by_key[key]
                     cache.put(namespace, payload, value)
-            misses = [
-                (key, cell) for key, cell in misses if not isinstance(cell, SimJob)
-            ]
+            misses = [(key, cell) for key, cell in misses if cell not in handled]
 
     computed = parallel_map(evaluate, [cell for _, cell in misses], jobs)
     for (key, _), value in zip(misses, computed):

@@ -30,6 +30,26 @@ to the frozen scalar reference in :mod:`repro.pipeline.reference`.  Early
 termination is detected at chunk granularity from the cumulative-product
 stack; a chunk that would terminate mid-way is replayed through the
 scalar path so the stop lands on exactly the same Gaussian.
+
+**Bucketed whole-frame core.**  Chunking removes the per-Gaussian Python
+overhead, but a frame still pays one Python loop iteration — and dozens of
+small-array kernel launches — per tile.  :func:`rasterize` therefore
+batches the blend recurrence *across* tiles as well: a frame's nonempty
+dense tiles are grouped into occupancy buckets (power-of-two depth-count
+classes, so padding to the bucket maximum costs < 2x), each bucket is
+packed into dense ``(tiles, depth, tile_h, tile_w)`` arrays straight from
+the ``TileStream`` offsets, and the alpha evaluation, exclusive
+``(1 - alpha)`` transmittance product, and color accumulation run once per
+bucket with a leading tile axis.  Padded slots carry ``alpha == 0`` and
+composite as bitwise no-ops; early termination is *exact* without any
+scalar replay, because the transmittance level stack materializes the very
+values the scalar loop's pre-splat checks inspect — each tile's stopping
+splat is read off the per-level maxima, its counters come from prefix
+sums up to that stop, and later splats' color contributions are dropped.
+Images, ``valid_bits``, and counters therefore stay bit-identical to the
+scalar reference.  Sparse large tiles keep the flat-bbox-gather path; the
+per-tile loop survives as :func:`rasterize_tiled` (dispatch baseline and
+benchmark reference).
 """
 
 from __future__ import annotations
@@ -56,6 +76,7 @@ _XP = core_ops(
     "accumulate_add",
     "repeat",
     "cumsum",
+    "frexp",
 )
 
 #: Contributions below 1/255 are invisible at 8-bit output and skipped,
@@ -89,6 +110,37 @@ CHUNKED_MAX_DENSE_AREA = 512
 #: the tile) and the tile is blended scalar.  Both paths are bit-identical;
 #: the dispatch is purely a throughput choice.
 CHUNKED_MIN_COVERAGE = 0.25
+
+#: Element budget for one ``(depth + 1, tiles, tile_h, tile_w)`` level
+#: stack of the bucketed whole-frame core.  Buckets whose stacks would
+#: exceed it are processed in tile slabs (and, failing that, depth
+#: segments), bounding peak memory while still amortizing kernel-launch
+#: overhead over dozens of tiles per call.
+_BUCKET_ELEMENT_BUDGET = 1 << 20
+
+#: Reused backing stores for the bucketed core's large flat temporaries
+#: (level stack, per-pixel operand/index arrays).  Freshly mmap'd pages
+#: cost more to fault in than the math run over them, so each named role
+#: keeps one buffer, grown on demand and recycled across slabs and frames.
+_POOL: dict[str, np.ndarray] = {}
+
+
+def _pool(name: str, n: int, dtype=np.float64) -> np.ndarray:
+    """A pooled scratch array of ``n`` elements, reused across calls."""
+    buf = _POOL.get(name)
+    if buf is None or buf.size < n or buf.dtype != np.dtype(dtype):
+        buf = np.empty(n, dtype=dtype)
+        _POOL[name] = buf
+    return buf[:n]
+
+
+def _iota(n: int) -> np.ndarray:
+    """The cached int32 sequence ``0..n-1`` (read-only by convention)."""
+    buf = _POOL.get("iota")
+    if buf is None or buf.size < n:
+        buf = np.arange(max(n, 1 << 16), dtype=np.int32)
+        _POOL["iota"] = buf
+    return buf[:n]
 
 
 @dataclass
@@ -552,7 +604,7 @@ def rasterize_tile(
     return valid, stats
 
 
-def rasterize(
+def rasterize_tiled(
     sorted_tiles: SortedTiles,
     projected: ProjectedGaussians,
     grid: TileGrid,
@@ -561,7 +613,12 @@ def rasterize(
     termination: float = TERMINATION_THRESHOLD,
     chunk_size: int = RASTER_CHUNK_SIZE,
 ) -> RasterResult:
-    """Rasterize a full frame from per-tile sorted Gaussian lists."""
+    """Rasterize a frame one tile at a time (the pre-bucketing loop).
+
+    Kept as the benchmark baseline for the bucketed whole-frame core and as
+    a readable single-tile-at-a-time formulation of the same math; both
+    produce bit-identical results.
+    """
     framebuffer = Framebuffer(width=grid.width, height=grid.height, background=background)
     result = RasterResult(image=np.empty(0))
     for tile in range(grid.num_tiles):
@@ -579,5 +636,511 @@ def rasterize(
         )
         result.valid_bits[tile] = valid
         result.stats.merge(stats)
+    result.image = framebuffer.finalize()
+    return result
+
+
+def _blend_bucket_dense(
+    framebuffer: Framebuffer,
+    x0_b: np.ndarray,
+    y0_b: np.ndarray,
+    h: int,
+    w: int,
+    counts: np.ndarray,
+    means: np.ndarray,
+    conics: np.ndarray,
+    radii: np.ndarray,
+    opacities: np.ndarray,
+    colors: np.ndarray,
+    valid: np.ndarray,
+    gx0: np.ndarray,
+    gx1: np.ndarray,
+    gy0: np.ndarray,
+    gy1: np.ndarray,
+    bbox_areas: np.ndarray,
+    termination: float,
+    stats: RasterStats,
+) -> None:
+    """Blend one bucket slab of same-shape dense tiles with a tile axis.
+
+    The slab's whole depth range is processed in one pass (split into depth
+    segments only when the level stack would blow the element budget):
+    every (tile, splat) bbox pixel is gathered into one flat array —
+    exactly ``blend_ops`` worth of alpha evaluations, the same economy as
+    the sparse path — and the significant ``(1 - alpha)`` values are
+    scattered into a level-major ``(depth + 1, tiles, tile_h, tile_w)``
+    stack whose strictly-sequential cumulative product recovers every
+    per-splat incoming transmittance at once.  Color accumulates through
+    ordered ``np.add.at`` scatter-adds: indices are laid out tile-major,
+    splat-ascending, so colliding pixels accumulate in exactly the scalar
+    loop's front-to-back order and association (``ufunc.at`` applies
+    updates in index order).
+
+    Early termination needs no replay: stack level ``m`` *is* the
+    transmittance the scalar loop's pre-splat check inspects before splat
+    ``m``, so the exact stopping splat of every tile is read straight off
+    the per-level maxima — the first level below the threshold.  A
+    terminated tile keeps level ``stop`` as its final transmittance, drops
+    the color contributions of splats ``>= stop``, and takes its counters
+    from prefix sums over ``valid`` / ``bbox_areas`` up to ``stop`` —
+    landing on the same Gaussian with the same counters as the scalar
+    loop, at any segment size.
+
+    Pixels a splat does not touch multiply transmittance by ``1.0`` and add
+    nothing — bitwise no-ops on the reachable state (transmittance is
+    non-negative and accumulated color is never ``-0.0``), which is also
+    why padded slots (``valid`` False, ``bbox_areas`` 0) are free.
+    """
+    num_tiles, depth = valid.shape
+    xp = _XP()
+    hw = h * w
+    px = x0_b[:, None] + (np.arange(w) + 0.5)  # == arange(x0, x1) + 0.5, exactly
+    py = y0_b[:, None] + (np.arange(h) + 0.5)
+    trans = np.ones((num_tiles, h, w))
+    color = np.zeros((num_tiles, h, w, 3))
+    alive = np.ones(num_tiles, dtype=bool)
+    n_max = int(counts.max())
+    # Depth segment sized so the (segment + 1, tiles, h, w) stack stays
+    # within the element budget; normally the caller's tile slabbing makes
+    # this one segment covering the whole list.
+    d_seg = max(1, _BUCKET_ELEMENT_BUDGET // (num_tiles * hw) - 1)
+
+    for s in range(0, n_max, d_seg):
+        # Tiles whose list is exhausted finished naturally: no further
+        # termination checks, no counters — exactly the scalar loop ending.
+        alive &= counts > s
+        idx = np.flatnonzero(alive)
+        if idx.size == 0:
+            break
+        e = min(s + d_seg, n_max)
+        k = e - s
+        ta = idx.size
+        k_arr = np.minimum(counts[idx] - s, k)
+
+        # Flat gather of the segment's bbox pixels, tile-major and
+        # splat-ascending within each tile.
+        areas = bbox_areas[idx, s:e].ravel()
+        pos = np.flatnonzero(areas)
+        if pos.size == 0:
+            # No splat touches a pixel: transmittance is unchanged, so only
+            # the segment-entry check (the scalar check before splat s) can
+            # fire; counters advance for the rest.
+            term = trans[idx].max(axis=(1, 2)) < termination
+            if term.any():
+                stats.early_terminated_tiles += int(np.count_nonzero(term))
+                alive[idx[term]] = False
+                idx = idx[~term]
+            stats.gaussians_processed += int(np.count_nonzero(valid[idx, s:e]))
+            continue
+
+        t_loc = (pos // k).astype(np.int32)  # row within idx
+        m_loc = (pos % k).astype(np.int32)  # splat within segment
+        bw = (gx1[idx, s:e].ravel()[pos] - gx0[idx, s:e].ravel()[pos]).astype(np.int32)
+        bh = (gy1[idx, s:e].ravel()[pos] - gy0[idx, s:e].ravel()[pos]).astype(np.int32)
+        gx0p = gx0[idx, s:e].ravel()[pos].astype(np.int32)
+        gy0p = gy0[idx, s:e].ravel()[pos].astype(np.int32)
+
+        # The scalar loop evaluates its quadratic per member *axis*, not
+        # per pixel: ``dx``/``a * dx**2`` over the bbox columns and
+        # ``dy``/``c * dy**2``/``b * dy`` over the bbox rows, broadcast
+        # together per pixel.  Reproduce exactly that factoring — the
+        # per-axis tables below hold the same floats the scalar broadcast
+        # produced, and the per-pixel combine performs the same three ops
+        # in the same order — then gather per-pixel operands from the
+        # tables.  (Σ bbox widths + heights is ~3x smaller than Σ areas,
+        # so the expensive transcendental-free math runs on far fewer
+        # elements than the per-pixel formulation.)
+        mc = means[idx, s:e].reshape(ta * k, 2)
+        cc = conics[idx, s:e].reshape(ta * k, 3)
+        cexc = np.zeros(pos.size + 1, dtype=np.int64)
+        xp.cumsum(bw, out=cexc[1:])
+        rexc = np.zeros(pos.size + 1, dtype=np.int64)
+        xp.cumsum(bh, out=rexc[1:])
+        cexc32 = cexc[:-1].astype(np.int32)
+        rexc32 = rexc[:-1].astype(np.int32)
+        pxi = px[idx].ravel()
+        pyi = py[idx].ravel()
+
+        ccol = np.arange(int(cexc[-1]), dtype=np.int32)
+        ccol -= cexc32[xp.repeat(np.arange(pos.size, dtype=np.int32), bw)]
+        dxcat = pxi[xp.repeat(t_loc * np.int32(w) + gx0p, bw) + ccol]
+        dxcat -= xp.repeat(mc[pos, 0], bw)  # px[col] - cx, per (member, col)
+        ucat = np.square(dxcat)  # dx**2 (ndarray ** 2 lowers to square)
+        ucat *= xp.repeat(cc[pos, 0], bw)  # a * dx**2
+
+        rowmem = xp.repeat(np.arange(pos.size, dtype=np.int32), bh)
+        rrow = np.arange(int(rexc[-1]), dtype=np.int32)
+        rrow -= rexc32[rowmem]  # row ordinal within its member's bbox
+        dycat = pyi[xp.repeat(t_loc * np.int32(h) + gy0p, bh) + rrow]
+        dycat -= xp.repeat(mc[pos, 1], bh)  # py[row] - cy, per (member, row)
+        vcat = np.square(dycat)
+        vcat *= xp.repeat(cc[pos, 2], bh)  # c * dy**2
+        w1cat = xp.repeat(cc[pos, 1], bh)
+        w1cat *= dycat  # b * dy
+
+        # Pixels are member-major, row-major: each (member, row) is one
+        # contiguous run of bw pixels.  Everything per-pixel then derives
+        # from the *global row ordinal* — recovered as an indicator cumsum
+        # over the row runs — through per-row tables, which removes the
+        # per-pixel integer divmod entirely.  Every full-length temporary
+        # lives in a pooled buffer: at millions of elements, a fresh
+        # allocation's page faults cost as much as the pass over it.
+        linbase = m_loc + np.int32(1)
+        linbase *= np.int32(ta)
+        linbase += t_loc
+        linbase *= np.int32(hw)
+        linbase += gy0p * np.int32(w)
+        linbase += gx0p  # the member's pixel base folds into its level base
+        rowlin = xp.repeat(linbase, bh)
+        rowlin += rrow * np.int32(w)  # stack-linear base of each bbox row
+        rowbw = xp.repeat(bw, bh)  # pixels in each bbox row
+        rowstarts = np.zeros(rowbw.size + 1, dtype=np.int64)
+        xp.cumsum(rowbw, out=rowstarts[1:])
+        total = int(rowstarts[-1])
+        rowstarts32 = rowstarts[:-1].astype(np.int32)
+        rowcexc = xp.repeat(cexc32, bh)  # column-table start of each row
+        rowopac = xp.repeat(opacities[idx, s:e].reshape(ta * k)[pos], bh)
+
+        ridx = _pool("ia", total, np.int32)
+        ridx[:] = 0
+        ridx[rowstarts[1:-1]] = 1
+        xp.cumsum(ridx, out=ridx)  # global row ordinal per pixel
+        cloc = _pool("ib", total, np.int32)
+        np.take(rowstarts32, ridx, out=cloc, mode="clip")
+        np.subtract(_iota(total), cloc, out=cloc)  # column within the bbox
+        cidx = _pool("ic", total, np.int32)
+        np.take(rowcexc, ridx, out=cidx, mode="clip")
+        cidx += cloc  # flat pixel -> its member-column table entry
+        power = _pool("fa", total)
+        np.take(ucat, cidx, out=power, mode="clip")
+        opnd = _pool("fb", total)
+        np.take(vcat, ridx, out=opnd, mode="clip")
+        power += opnd  # a*dx**2 + c*dy**2, per pixel
+        power *= -0.5
+        np.take(w1cat, ridx, out=opnd, mode="clip")
+        opnd2 = _pool("fc", total)
+        np.take(dxcat, cidx, out=opnd2, mode="clip")
+        opnd *= opnd2  # (b * dy) * dx, per pixel
+        power -= opnd
+        ok = _pool("ba", total, bool)
+        np.less_equal(power, 0.0, out=ok)
+        xp.minimum(power, 0.0, out=power)
+        xp.exp(power, out=power)
+        np.take(rowopac, ridx, out=opnd, mode="clip")
+        power *= opnd
+        alpha = xp.minimum(power, MAX_ALPHA, out=power)
+        sig = _pool("bb", total, bool)
+        np.greater_equal(alpha, MIN_ALPHA, out=sig)
+        ok &= sig
+
+        # Level-major seeded stack: level 0 is each tile's incoming
+        # transmittance, level m+1 holds (1 - alpha) of segment splat m
+        # where significant and exactly 1.0 elsewhere.  The strictly-
+        # sequential accumulate then makes level m the transmittance splat
+        # m sees, and level k_t each tile's outgoing state (padded levels
+        # multiply by 1.0).
+        lin = cidx  # "ic": the table indices are consumed
+        np.take(rowlin, ridx, out=lin, mode="clip")
+        lin += cloc
+        sel = np.flatnonzero(ok)
+        lin_s = _pool("si", sel.size, np.int32)
+        np.take(lin, sel, out=lin_s, mode="clip")
+        a_s = _pool("sa", sel.size)
+        np.take(alpha, sel, out=a_s, mode="clip")
+        rset = _pool("sj", sel.size, np.int32)
+        np.take(ridx, sel, out=rset, mode="clip")  # row run per significant pixel
+        one_minus = _pool("sb", sel.size)
+        np.subtract(1.0, a_s, out=one_minus)
+        tstack = _pool("stack", (k + 1) * ta * hw).reshape(k + 1, ta, h, w)
+        tstack[1:] = 1.0
+        tstack[0] = trans[idx]
+        tstack.reshape(-1)[lin_s] = one_minus
+        st2 = xp.accumulate_multiply(
+            tstack.reshape(k + 1, ta * hw), axis=0, out=tstack.reshape(k + 1, ta * hw)
+        )
+        tstack = st2.reshape(k + 1, ta, h, w)
+        tflat = tstack.reshape(-1)
+
+        # Exact per-tile stop: stack level m is the transmittance the
+        # scalar loop checks before splat s + m, so the first level below
+        # the threshold (within the tile's own list) is the stopping splat.
+        # Transmittance is non-increasing level to level (every factor is
+        # in [0, 1]), so only tiles whose *final* level dips below the
+        # threshold can terminate at all — full stacks are scanned for
+        # those few candidates only.
+        tview = tstack.reshape(k + 1, ta, hw)
+        last = tview[k_arr, np.arange(ta)]  # (ta, hw): each tile's outgoing state
+        cand = last.max(axis=1) < termination
+        term_t = cand
+        stop = k_arr
+        if cand.any():
+            sub = np.flatnonzero(cand)
+            lmax = tview[:, sub].max(axis=2)  # (k + 1, n_candidates)
+            cond = lmax < termination
+            cond &= np.arange(k + 1)[:, None] < k_arr[sub][None, :]
+            term_sub = cond.any(axis=0)
+            stop = k_arr.copy()
+            stop[sub] = np.where(term_sub, np.argmax(cond, axis=0), k_arr[sub])
+            term_t = np.zeros(ta, dtype=bool)
+            term_t[sub] = term_sub
+        if term_t.any():
+            stats.early_terminated_tiles += int(np.count_nonzero(term_t))
+            alive[idx[term_t]] = False
+            # Drop color contributions of splats at/after each stop.
+            rowm = xp.repeat(m_loc, bh)
+            rowt = xp.repeat(t_loc, bh)
+            keep = rowm[rset] < stop.astype(np.int32)[rowt[rset]]
+            lin_s = lin_s[keep]
+            a_s = a_s[keep]
+            rset = rset[keep]
+
+        # Counters over exactly the splats the scalar loop processed:
+        # valid members (and their bbox pixels) with index < stop.
+        nz = np.flatnonzero(stop > 0)
+        vcum = np.cumsum(valid[idx, s:e], axis=1)
+        bcum = np.cumsum(bbox_areas[idx, s:e], axis=1)
+        stats.gaussians_processed += int(vcum[nz, stop[nz] - 1].sum())
+        stats.blend_ops += int(bcum[nz, stop[nz] - 1].sum())
+
+        # color += T_in * alpha * c for every significant flat pixel of a
+        # splat before its tile's stop.  ufunc.at applies updates strictly
+        # in index order, so pixels hit by several splats accumulate
+        # front-to-back exactly like the scalar loop; channels are
+        # independent bins.
+        if lin_s.size:
+            n_sig = lin_s.size
+            lvl = _pool("sk", n_sig, np.int32)
+            np.subtract(lin_s, np.int32(ta * hw), out=lvl)  # one level up: T_in
+            wgt = _pool("sc", n_sig)
+            np.take(tflat, lvl, out=wgt, mode="clip")
+            wgt *= a_s
+            # Bin = tile's frame slab + 3 * (pixel offset within tile); the
+            # offset is recovered as lin_s mod hw, so the full-length pixel
+            # index never needs to be carried this far.
+            binbase = idx.astype(np.int32)[t_loc]
+            binbase *= np.int32(hw * 3)
+            bins = _pool("sm", n_sig, np.int32)
+            np.take(xp.repeat(binbase, bh), rset, out=bins, mode="clip")
+            np.remainder(lin_s, np.int32(hw), out=lvl)
+            lvl *= np.int32(3)
+            bins += lvl
+            cmat = colors[idx, s:e].reshape(ta * k, 3)[pos]
+            chan = _pool("sd", n_sig)
+            vals = _pool("se", n_sig)
+            cflat = color.reshape(-1)
+            for ch in range(3):
+                np.take(xp.repeat(cmat[:, ch], bh), rset, out=chan, mode="clip")
+                np.multiply(wgt, chan, out=vals)
+                np.add.at(cflat, bins, vals)
+                if ch < 2:
+                    bins += np.int32(1)
+
+        # Level stop (== k_t when the list ran out) is each tile's state
+        # when its loop ended — the carry into the next segment, and the
+        # final transmittance for finished tiles.
+        if cand.any():
+            trans[idx] = tview[stop, np.arange(ta)].reshape(ta, h, w)
+        else:
+            trans[idx] = last.reshape(ta, h, w)
+
+    for t in range(num_tiles):
+        fx0, fy0 = int(x0_b[t]), int(y0_b[t])
+        framebuffer.transmittance[fy0 : fy0 + h, fx0 : fx0 + w] = trans[t]
+        framebuffer.color[fy0 : fy0 + h, fx0 : fx0 + w] = color[t]
+
+
+def _rasterize_bucket(
+    framebuffer: Framebuffer,
+    projected: ProjectedGaussians,
+    stream_values: np.ndarray,
+    stream_offsets: np.ndarray,
+    tiles_b: np.ndarray,
+    counts_b: np.ndarray,
+    x0_b: np.ndarray,
+    y0_b: np.ndarray,
+    x1_b: np.ndarray,
+    y1_b: np.ndarray,
+    subtile_size: int | None,
+    termination: float,
+    chunk_size: int,
+    stats: RasterStats,
+    valid_out: dict[int, np.ndarray],
+) -> None:
+    """Pack one occupancy bucket of same-shape tiles and blend it.
+
+    Valid bits, subtile counters, and per-splat bboxes are computed once
+    over the packed ``(tiles, slots)`` arrays; sparse large tiles then peel
+    off to the flat-bbox-gather path and the dense rest goes through
+    :func:`_blend_bucket_dense` in memory-bounded slabs.
+    """
+    h = int(y1_b[0] - y0_b[0])
+    w = int(x1_b[0] - x0_b[0])
+    n_max = int(counts_b.max())
+    num_tiles = tiles_b.shape[0]
+
+    # Pack: slot j of tile t is the tile's j-th sorted row; padded slots
+    # repeat the last row and are masked invalid everywhere below.
+    slot = np.arange(n_max)
+    slot_valid = slot[None, :] < counts_b[:, None]
+    src = stream_offsets[tiles_b][:, None] + np.minimum(
+        slot[None, :], counts_b[:, None] - 1
+    )
+    rows_mat = stream_values[src]
+    means = projected.means2d[rows_mat]
+    conics = projected.conic[rows_mat]
+    radii = projected.radii[rows_mat]
+    opacities = projected.opacities[rows_mat]
+    colors = projected.colors[rows_mat]
+    cx = means[:, :, 0]
+    cy = means[:, :, 1]
+
+    sub = subtile_size
+    if sub is not None:
+        # Batched subtile intersection: same clamp-the-center math as
+        # _subtile_bitmaps, with per-tile subtile origins broadcast in.
+        sxs = x0_b[:, None] + np.arange(0, w, sub)[None, :]
+        sys_ = y0_b[:, None] + np.arange(0, h, sub)[None, :]
+        sx_hi = np.minimum(sxs + sub, x1_b[:, None])
+        sy_hi = np.minimum(sys_ + sub, y1_b[:, None])
+        qx = np.clip(cx[:, :, None], sxs[:, None, :], sx_hi[:, None, :])
+        qy = np.clip(cy[:, :, None], sys_[:, None, :], sy_hi[:, None, :])
+        dx2 = (qx - cx[:, :, None]) ** 2  # (T, n, Sx)
+        dy2 = (qy - cy[:, :, None]) ** 2  # (T, n, Sy)
+        r2 = radii * radii
+        bitmaps = dx2[:, :, None, :] + dy2[:, :, :, None] <= r2[:, :, None, None]
+        bitmaps &= slot_valid[:, :, None, None]
+        stats.subtile_tests += int(counts_b.sum()) * sxs.shape[1] * sys_.shape[1]
+        hits = np.count_nonzero(bitmaps, axis=(2, 3)).astype(np.int64)
+        valid = hits > 0
+        stats.subtile_hits += int(hits.sum())
+    else:
+        qx = np.clip(cx, x0_b[:, None], x1_b[:, None])
+        qy = np.clip(cy, y0_b[:, None], y1_b[:, None])
+        dist2 = (qx - cx) ** 2 + (qy - cy) ** 2
+        valid = (dist2 <= radii**2) & slot_valid
+
+    for t in range(num_tiles):
+        valid_out[int(tiles_b[t])] = valid[t, : int(counts_b[t])]
+
+    # Per-splat pixel bboxes, clipped per tile — the same integers
+    # rasterize_tile derives, with a leading tile axis.
+    gx0 = np.maximum(np.floor(cx - radii).astype(np.int64) - x0_b[:, None], 0)
+    gx1 = np.minimum(np.ceil(cx + radii).astype(np.int64) - x0_b[:, None] + 1, w)
+    gy0 = np.maximum(np.floor(cy - radii).astype(np.int64) - y0_b[:, None], 0)
+    gy1 = np.minimum(np.ceil(cy + radii).astype(np.int64) - y0_b[:, None] + 1, h)
+    bbox_areas = np.where(
+        valid & (gx1 > gx0) & (gy1 > gy0), (gx1 - gx0) * (gy1 - gy0), 0
+    )
+
+    tile_area = h * w
+    dense_loc = np.arange(num_tiles)
+    if tile_area > CHUNKED_MAX_DENSE_AREA:
+        dense = []
+        for t in range(num_tiles):
+            n_t = int(counts_b[t])
+            if int(bbox_areas[t].sum()) < CHUNKED_MIN_COVERAGE * n_t * tile_area:
+                # Sparse large tile: flat-bbox-gather fallback, fed the
+                # packed per-tile slices (valid bits are already counted).
+                fx0, fy0, fx1, fy1 = (
+                    int(x0_b[t]), int(y0_b[t]), int(x1_b[t]), int(y1_b[t])
+                )
+                _sparse_blend_range(
+                    np.arange(fx0, fx1) + 0.5,
+                    np.arange(fy0, fy1) + 0.5,
+                    framebuffer.transmittance[fy0:fy1, fx0:fx1],
+                    framebuffer.color[fy0:fy1, fx0:fx1],
+                    means[t, :n_t], conics[t, :n_t], radii[t, :n_t],
+                    opacities[t, :n_t], colors[t, :n_t], valid[t, :n_t],
+                    gx0[t, :n_t], gx1[t, :n_t], gy0[t, :n_t], gy1[t, :n_t],
+                    bbox_areas[t, :n_t], termination, stats, chunk_size,
+                )
+            else:
+                dense.append(t)
+        dense_loc = np.array(dense, dtype=np.int64)
+
+    if dense_loc.size == 0:
+        return
+    slab = max(1, _BUCKET_ELEMENT_BUDGET // ((n_max + 1) * tile_area))
+    for start in range(0, dense_loc.size, slab):
+        loc = dense_loc[start : start + slab]
+        _blend_bucket_dense(
+            framebuffer,
+            x0_b[loc], y0_b[loc], h, w,
+            counts_b[loc],
+            means[loc], conics[loc], radii[loc], opacities[loc], colors[loc],
+            valid[loc],
+            gx0[loc], gx1[loc], gy0[loc], gy1[loc], bbox_areas[loc],
+            termination, stats,
+        )
+
+
+def rasterize(
+    sorted_tiles: SortedTiles,
+    projected: ProjectedGaussians,
+    grid: TileGrid,
+    background: tuple[float, float, float] = (0.0, 0.0, 0.0),
+    subtile_size: int | None = NEO_SUBTILE_SIZE,
+    termination: float = TERMINATION_THRESHOLD,
+    chunk_size: int = RASTER_CHUNK_SIZE,
+) -> RasterResult:
+    """Rasterize a full frame with occupancy-bucketed whole-frame blending.
+
+    Nonempty tiles are grouped by (tile height, tile width, power-of-two
+    depth-count class) and each bucket is blended with a leading tile axis
+    (see the module docstring).  Output — image, ``valid_bits``, and every
+    :class:`RasterStats` counter — is bit-identical to
+    :func:`rasterize_tiled` and the frozen scalar reference.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    framebuffer = Framebuffer(width=grid.width, height=grid.height, background=background)
+    result = RasterResult(image=np.empty(0))
+    stream = sorted_tiles.stream
+    tiles = stream.nonempty()
+    if tiles.size == 0:
+        result.image = framebuffer.finalize()
+        return result
+
+    offsets = stream.offsets
+    counts = (offsets[tiles + 1] - offsets[tiles]).astype(np.int64)
+    ts = grid.tile_size
+    bx0 = (tiles % grid.tiles_x) * ts
+    by0 = (tiles // grid.tiles_x) * ts
+    bx1 = np.minimum(bx0 + ts, grid.width)
+    by1 = np.minimum(by0 + ts, grid.height)
+
+    # Occupancy class: counts in (2^(c-1), 2^c] share class c, so padding
+    # each bucket to its maximum count costs < 2x slots.  Edge tiles get
+    # their own buckets via the (h, w) part of the key.
+    xp = _XP()
+    mant, expo = xp.frexp(counts.astype(np.float64))
+    cls = expo.astype(np.int64) - (mant == 0.5)
+
+    buckets: dict[tuple[int, int, int], list[int]] = {}
+    hs = by1 - by0
+    ws = bx1 - bx0
+    for j in range(tiles.shape[0]):
+        buckets.setdefault((int(hs[j]), int(ws[j]), int(cls[j])), []).append(j)
+
+    valid_bits: dict[int, np.ndarray] = {}
+    for sel_list in buckets.values():
+        sel = np.asarray(sel_list, dtype=np.int64)
+        _rasterize_bucket(
+            framebuffer,
+            projected,
+            stream.values,
+            offsets,
+            tiles[sel],
+            counts[sel],
+            bx0[sel], by0[sel], bx1[sel], by1[sel],
+            subtile_size,
+            termination,
+            chunk_size,
+            result.stats,
+            valid_bits,
+        )
+
+    for t in sorted(valid_bits):
+        result.valid_bits[t] = valid_bits[t]
     result.image = framebuffer.finalize()
     return result

@@ -117,15 +117,24 @@ class ParallelRunner:
 _render_state: dict[str, Any] = {}
 
 
-def _init_render_worker(renderer: "Renderer", cameras: "list[Camera]") -> None:
+def _init_render_worker(renderer: "Renderer") -> None:
     _render_state["renderer"] = renderer
-    _render_state["cameras"] = cameras
 
 
-def _render_shard(indices: list[int]) -> "list[FrameRecord]":
+def _render_shard(shard: "tuple[int, list[Camera]]") -> "list[FrameRecord]":
+    """Render one shard: ``(first frame index, that shard's cameras)``.
+
+    Each task carries only its own camera slice — workers never receive the
+    full trajectory — so the per-task payload stays constant as the
+    trajectory grows and the spawn start method (which pickles initargs and
+    tasks alike) ships no redundant frames.
+    """
+    start, cameras = shard
     renderer = _render_state["renderer"]
-    cameras = _render_state["cameras"]
-    return [renderer.render(cameras[i], frame_index=i) for i in indices]
+    return [
+        renderer.render(camera, frame_index=start + offset)
+        for offset, camera in enumerate(cameras)
+    ]
 
 
 def _contiguous_shards(num_items: int, num_shards: int) -> list[list[int]]:
@@ -157,11 +166,12 @@ def parallel_render_sequence(
         return [renderer.render(camera, frame_index=i) for i, camera in enumerate(cameras)]
 
     shards = _contiguous_shards(len(cameras), jobs)
+    tasks = [(shard[0], [cameras[i] for i in shard]) for shard in shards]
     ctx = _mp_context()
     with ctx.Pool(
         processes=len(shards),
         initializer=_init_render_worker,
-        initargs=(renderer, cameras),
+        initargs=(renderer,),
     ) as pool:
-        parts = pool.map(_render_shard, shards)
+        parts = pool.map(_render_shard, tasks)
     return [record for part in parts for record in part]

@@ -81,6 +81,26 @@ class TestTorchGoldens:
         assert np.allclose(got.image, want.image, rtol=1e-9, atol=1e-12)
         assert got.stats.num_pairs == want.stats.num_pairs
 
+    @pytest.mark.parametrize("subtile", [8, None])
+    def test_bucketed_rasterization_matches_pin_within_tolerance(
+        self, small_scene, camera, subtile
+    ):
+        # The bucketed whole-frame path routes exp/minimum/accumulate_multiply
+        # through the active backend: under torch the composited image may
+        # differ from the scalar pin in final ulps, never beyond tolerance,
+        # and the pairing counters stay exact.
+        from repro.pipeline import reference as ref
+
+        proj = project_gaussians(small_scene, camera)
+        grid = TileGrid.for_camera(camera, 16)
+        sorted_tiles = sort_tiles(assign_to_tiles(proj, grid))
+        want = ref.rasterize(sorted_tiles, proj, grid, subtile_size=subtile)
+        with use_backend("torch"):
+            got = rasterize(sorted_tiles, proj, grid, subtile_size=subtile)
+        assert np.allclose(got.image, want.image, rtol=1e-9, atol=1e-12)
+        assert got.stats.num_pairs == want.stats.num_pairs
+        assert got.valid_bits.keys() == want.valid_bits.keys()
+
     def test_simulation_matches_numpy_within_tolerance(self):
         job = SimJob.make("neo", "family", "hd", frames=4, bandwidth_gbps=51.2)
         want = job.resolved().simulate()

@@ -193,3 +193,16 @@ class TestMain:
             ["--baseline", baseline_path, "--fresh", baseline_path]
         )
         assert code == 0
+
+    def test_committed_baseline_gates_bucketed_rasterization(self):
+        # The trend gate only protects entries recorded in the committed
+        # baseline; the bucketed rasterizer must be one of them, with the
+        # committed full-mode speedup clearing its own CI floor.
+        baseline_path = _SCRIPT.parent.parent / "BENCH_pipeline.json"
+        if not baseline_path.exists():
+            pytest.skip("no committed baseline in this checkout")
+        benches = bench_trend.load_benchmarks(str(baseline_path))
+        assert "raster_bucketed" in benches
+        entry = benches["raster_bucketed"]
+        assert entry["identical"] is True
+        assert entry["speedup"] >= entry["floor"] >= 1.6

@@ -189,3 +189,28 @@ class TestBenchCli:
         for bench in payload["benchmarks"]:
             assert bench["identical"] is True
             assert bench["baseline_ms"] > 0 and bench["optimized_ms"] > 0
+
+    def test_bench_profile_records_top_functions(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        code = main(["bench", "order_metrics", "--quick", "--no-gate",
+                     "--profile", "--out", str(out_path)])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        (entry,) = payload["benchmarks"]
+        profile = entry["detail"]["profile"]
+        assert 0 < len(profile) <= 15
+        # Rows are sorted by cumulative time and carry call attribution.
+        cums = [row["cumtime_s"] for row in profile]
+        assert cums == sorted(cums, reverse=True)
+        for row in profile:
+            assert row["function"] and row["location"]
+            assert row["ncalls"] >= row["primitive_calls"] >= 1
+        # The bench body itself must appear in its own profile.
+        assert any("bench_order_metrics" in row["function"] for row in profile)
+        # Unprofiled runs stay free of the key.
+        from repro.bench import run_benchmarks
+
+        (plain,) = run_benchmarks(["order_metrics"], quick=True)
+        assert "profile" not in plain.detail

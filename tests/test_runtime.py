@@ -63,6 +63,58 @@ class TestParallelRender:
         )
         _assert_records_identical(serial, parallel)
 
+    def test_workers_receive_only_their_shard(self, small_scene, camera_path, monkeypatch):
+        # The pool's initargs must carry the renderer alone; each task must
+        # carry exactly its shard's cameras — never the full trajectory.
+        from repro.runtime import parallel as par
+
+        captured = {}
+
+        class SpyCtx:
+            def Pool(self, processes, initializer=None, initargs=()):
+                captured["initargs"] = initargs
+
+                class SpyPool:
+                    def __enter__(self):
+                        return self
+
+                    def __exit__(self, *exc):
+                        return False
+
+                    def map(self, fn, tasks):
+                        captured["tasks"] = list(tasks)
+                        initializer(*initargs)
+                        return [fn(task) for task in tasks]
+
+                return SpyPool()
+
+        monkeypatch.setattr(par, "_mp_context", lambda: SpyCtx())
+        renderer = Renderer(small_scene)
+        serial = renderer.render_sequence(camera_path)
+        sharded = par.parallel_render_sequence(renderer, camera_path, jobs=2)
+        _assert_records_identical(serial, sharded)
+
+        assert captured["initargs"] == (renderer,)
+        starts = [start for start, _ in captured["tasks"]]
+        sizes = [len(cams) for _, cams in captured["tasks"]]
+        assert sum(sizes) == len(camera_path)
+        assert starts == [0] + list(np.cumsum(sizes)[:-1])
+
+    def test_spawn_context_matches_serial(self, small_scene, camera_path, monkeypatch):
+        # Spawn pickles initargs and tasks for every worker; the sharded
+        # payloads must survive that boundary and stay bitwise-identical.
+        import multiprocessing
+
+        from repro.runtime import parallel as par
+
+        monkeypatch.setattr(
+            par, "_mp_context", lambda: multiprocessing.get_context("spawn")
+        )
+        renderer = Renderer(small_scene)
+        serial = renderer.render_sequence(camera_path)
+        parallel = renderer.render_sequence(camera_path, jobs=2)
+        _assert_records_identical(serial, parallel)
+
     def test_contiguous_shards_cover_in_order(self):
         shards = _contiguous_shards(10, 3)
         assert [i for shard in shards for i in shard] == list(range(10))

@@ -376,6 +376,70 @@ class TestProtocol:
         asyncio.run(scenario())
 
 
+class TestBatchedRollouts:
+    def test_worker_drains_queue_and_reports_stay_byte_identical(self):
+        # Queue four stackable cells before the worker starts: batched mode
+        # must drain them in one pass, stack the compatible groups, and
+        # resolve every future with a report byte-identical to direct
+        # per-cell simulation.
+        async def scenario():
+            from concurrent.futures import ThreadPoolExecutor
+
+            from repro.runtime.cache import stable_key
+            from repro.service.server import _Execution
+
+            jobs = [
+                SimJob.make("neo", "family", "hd", frames=2, bandwidth_gbps=bw).resolved()
+                for bw in (20.0, 35.0, 52.0)
+            ]
+            jobs.append(SimJob.make("gscore", "family", "hd", frames=2).resolved())
+            server = SimulationServer(
+                ServiceConfig(port=0, workers=1, cache_dir=None, batched=True)
+            )
+            server._executor = ThreadPoolExecutor(max_workers=1)
+            loop = asyncio.get_running_loop()
+            executions = [
+                _Execution(stable_key(job.cache_payload()), job, loop.create_future())
+                for job in jobs
+            ]
+            for execution in executions:
+                server._inflight[execution.key] = execution
+                server._queue.put_nowait(execution)
+            worker = asyncio.create_task(server._worker())
+            try:
+                reports = await asyncio.gather(*(e.future for e in executions))
+            finally:
+                worker.cancel()
+                server._executor.shutdown(wait=False)
+            return server, jobs, reports
+
+        server, jobs, reports = asyncio.run(scenario())
+        assert server.metrics.executions == len(jobs)
+        assert server.metrics.rollout_stacked == len(jobs)
+        assert server.metrics.rollout_fallback == 0
+        assert not server._inflight
+        for job, report in zip(jobs, reports):
+            direct = protocol.canonical_bytes(protocol.report_to_payload(job.simulate()))
+            served = protocol.canonical_bytes(protocol.report_to_payload(report))
+            assert served == direct
+
+    def test_batched_flag_surfaces_in_stats_config(self):
+        async def scenario():
+            server = await start_server(workers=1, batched=True)
+            client = await connect(server)
+            try:
+                response = await client.request({"op": "stats"})
+            finally:
+                await client.close()
+                await server.stop()
+            return response
+
+        response = asyncio.run(scenario())
+        assert response["status"] == "ok"
+        assert response["config"]["batched"] is True
+        assert "rollout_stacked" in response["metrics"]
+
+
 class TestLoadGen:
     def test_traffic_is_seed_deterministic(self):
         config = LoadGenConfig(requests=50, seed=9)
